@@ -1,0 +1,27 @@
+"""Benchmark harness configuration.
+
+Each benchmark module regenerates one of the paper's figures (quick-scale)
+via pytest-benchmark and asserts the figure's qualitative *shape* — who
+wins, roughly by how much, where the crossovers are.  Absolute numbers
+depend on the simulator's cost models and are reported, not asserted.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the benched callable exactly once and return its result.
+
+    Experiment runs are deterministic and internally iterate; re-running
+    them inside the timer would only re-measure the same work.
+    """
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _run

@@ -1,0 +1,23 @@
+"""Regenerate Fig 1 (motivation: fixed schemes vs straggler count)."""
+
+from repro.experiments.fig01_motivation import run
+
+
+def test_fig01_motivation(once):
+    result = once(run, quick=True)
+    print()
+    print(result.format_table())
+    # (12,9)-MDS is flat across straggler counts...
+    mds9 = result.column("mds-12-9")
+    assert mds9.max() / mds9.min() < 1.25
+    # ...but pays a higher baseline than (12,10)-MDS.
+    assert result.value("0 stragglers", "mds-12-9") > result.value(
+        "0 stragglers", "mds-12-10"
+    )
+    # (12,10)-MDS collapses once stragglers exceed its n-k = 2 budget.
+    mds10 = result.column("mds-12-10")
+    assert mds10[3] > 2.0 * mds10[0]
+    assert mds10[2] < 1.5 * mds10[0]
+    # Uncoded replication collapses at r = 3 stragglers (replica wipe-out).
+    uncoded = result.column("uncoded-3rep")
+    assert uncoded[3] > 2.0 * uncoded[0]

@@ -1,0 +1,23 @@
+"""Regenerate Fig 2 (cloud speed-trace statistics)."""
+
+import numpy as np
+
+from repro.experiments.fig02_traces import run
+
+
+def test_fig02_traces(once):
+    result = once(run, quick=True)
+    print()
+    print(result.format_table())
+    # Speeds are normalised to peak: every statistic lies in (0, 1].
+    for column in ("mean-speed", "min-speed", "max-speed"):
+        values = result.column(column)
+        assert np.all(values > 0.0)
+        assert np.all(values <= 1.0)
+    # The paper's critical observation: speed stays within ±10% for about
+    # 10 samples — regimes must be several samples long on average.
+    regimes = result.column("mean-regime-len")
+    assert np.median(regimes) >= 4.0
+    # And speeds do vary substantially over time (it's a shared cloud).
+    spread = result.column("max-speed") - result.column("min-speed")
+    assert spread.max() > 0.2

@@ -1,0 +1,30 @@
+"""Regenerate Fig 6 (LR execution time, five strategies vs stragglers)."""
+
+import numpy as np
+
+from repro.experiments.fig06_lr import run
+
+
+def test_fig06_lr(once):
+    result = once(run, quick=True)
+    print()
+    print(result.format_table())
+    general = result.column("s2c2-general-12-6")
+    basic = result.column("s2c2-basic-12-6")
+    mds6 = result.column("mds-12-6")
+    mds10 = result.column("mds-12-10")
+    uncoded = result.column("uncoded-3rep")
+    # S2C2 is the cheapest coded strategy in every scenario.
+    assert np.all(general <= mds6)
+    assert np.all(basic <= mds6 * 1.02)
+    # The general algorithm squeezes the ±20% slack the basic one ignores.
+    assert general.mean() <= basic.mean() * 1.02
+    # S2C2 stays flat as stragglers accumulate (the headline robustness).
+    assert general.max() / general.min() < 1.6
+    # (12,10)-MDS collapses past its 2-straggler budget.
+    assert mds10[3] > 2.5 * mds10[0]
+    # Conventional (12,6)-MDS is flat but pays its high baseline throughout.
+    assert mds6.max() / mds6.min() < 1.25
+    assert mds6[0] > 1.3
+    # Uncoded degrades as stragglers appear.
+    assert uncoded[3] > 1.5 * uncoded[0]

@@ -1,0 +1,21 @@
+"""Regenerate Fig 7 (PageRank execution time, five strategies)."""
+
+import numpy as np
+
+from repro.experiments.fig07_pagerank import run
+
+
+def test_fig07_pagerank(once):
+    result = once(run, quick=True)
+    print()
+    print(result.format_table())
+    general = result.column("s2c2-general-12-6")
+    basic = result.column("s2c2-basic-12-6")
+    mds6 = result.column("mds-12-6")
+    mds10 = result.column("mds-12-10")
+    # Same shape as Fig 6 on the graph-ranking workload.
+    assert np.all(general <= mds6)
+    assert general.mean() <= basic.mean() * 1.02
+    assert general.max() / general.min() < 1.6
+    assert mds10[3] > 2.5 * mds10[0]
+    assert mds6.max() / mds6.min() < 1.25

@@ -1,0 +1,28 @@
+"""Regenerate Fig 8 (cloud, low mis-prediction environment)."""
+
+from repro.experiments.fig08_cloud_low import run
+
+
+def test_fig08_cloud_low(once):
+    result = once(run, quick=True)
+    print()
+    print(result.format_table())
+    s2c2_10 = result.value("s2c2-10-7", "relative-time")
+    s2c2_9 = result.value("s2c2-9-7", "relative-time")
+    s2c2_8 = result.value("s2c2-8-7", "relative-time")
+    # Normalisation reference.
+    assert abs(s2c2_10 - 1.0) < 1e-9
+    # S2C2 improves monotonically with redundancy (paper: 1.0/1.09/1.23).
+    assert s2c2_10 <= s2c2_9 <= s2c2_8
+    assert 1.02 < s2c2_9 < 1.25
+    assert 1.1 < s2c2_8 < 1.45
+    # Every MDS variant pays the conventional-coding overhead.
+    for n in (8, 9, 10):
+        assert result.value(f"mds-{n}-7", "relative-time") > 1.1
+    # S2C2 beats its same-code MDS counterpart everywhere.
+    for n in (8, 9, 10):
+        assert result.value(f"s2c2-{n}-7", "relative-time") < result.value(
+            f"mds-{n}-7", "relative-time"
+        )
+    # Over-decomposition is competitive when predictions are accurate.
+    assert result.value("over-decomposition", "relative-time") < 1.3

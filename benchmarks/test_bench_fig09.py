@@ -1,0 +1,19 @@
+"""Regenerate Fig 9 (per-worker wasted computation, low mis-prediction)."""
+
+import numpy as np
+
+from repro.experiments.fig09_waste_low import run
+
+
+def test_fig09_waste_low(once):
+    result = once(run, quick=True)
+    print()
+    print(result.format_table())
+    mds = result.column("mds-10-7")
+    s2c2 = result.column("s2c2-10-7")
+    # With ~0% mis-prediction S2C2 wastes no computation at all.
+    assert np.all(s2c2 < 1.0)  # percent
+    # Conventional MDS throws away the slowest n-k workers' efforts: the
+    # mean waste is substantial and some worker loses most of its work.
+    assert mds.mean() > 10.0
+    assert mds.max() > 50.0

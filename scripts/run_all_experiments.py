@@ -1,0 +1,30 @@
+"""Run every experiment at full scale and dump the tables.
+
+Usage:  python scripts/run_all_experiments.py [--quick] [names...]
+
+Prints each figure's table (and wall time) to stdout; EXPERIMENTS.md's
+measured columns come from this output.
+"""
+
+import sys
+import time
+
+from repro.experiments import ALL_EXPERIMENTS
+
+
+def main() -> None:
+    args = [a for a in sys.argv[1:]]
+    quick = "--quick" in args
+    names = [a for a in args if not a.startswith("--")] or list(ALL_EXPERIMENTS)
+    for name in names:
+        runner = ALL_EXPERIMENTS[name]
+        start = time.perf_counter()
+        result = runner(quick=quick)
+        elapsed = time.perf_counter() - start
+        print(result.format_table())
+        print(f"   [{elapsed:.1f}s]")
+        print(flush=True)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""S2C2 — Slack Squeeze Coded Computing for adaptive straggler mitigation.
+
+Reproduction of Narra, Lin, Kiamari, Avestimehr, Annavaram, *"Slack Squeeze
+Coded Computing for Adaptive Straggler Mitigation"*, SC '19.
+
+Subpackages
+-----------
+``repro.coding``
+    MDS and polynomial coded-computation substrates (encode / any-k decode).
+``repro.scheduling``
+    Work-assignment strategies: basic & general S2C2 (Algorithm 1),
+    conventional MDS, uncoded replication with speculation, and Charm++-like
+    over-decomposition.
+``repro.prediction``
+    Per-node speed forecasting: NumPy LSTM, ARIMA baselines, and the
+    regime-switching cloud speed-trace generator.
+``repro.cluster``
+    Discrete-event cluster simulator (master/worker protocol, network and
+    speed models) plus a real multiprocessing executor.
+``repro.runtime``
+    Coded jobs and the iterative driver tying coding + scheduling +
+    prediction + cluster together, with latency / waste / storage metrics.
+``repro.apps``
+    Workloads: logistic regression, SVM, PageRank, graph filtering, and the
+    polynomial-coded Hessian.
+``repro.experiments``
+    One module per figure of the paper's evaluation (Figs 1–13, §6.1).
+"""
+
+from repro.coding import MDSCode, PolynomialCode
+
+__version__ = "1.0.0"
+
+__all__ = ["MDSCode", "PolynomialCode", "__version__"]

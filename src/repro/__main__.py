@@ -1,0 +1,78 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands
+--------
+``experiments [names...] [--quick]``
+    Regenerate the paper's figures (all of them by default) and print the
+    tables.  ``--quick`` uses the reduced CI-scale configurations.
+``list``
+    List the available experiment names with their descriptions.
+``version``
+    Print the package version.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+
+def _cmd_list() -> int:
+    from repro.experiments import ALL_EXPERIMENTS
+
+    for name, runner in sorted(ALL_EXPERIMENTS.items()):
+        module = sys.modules[runner.__module__]
+        headline = (module.__doc__ or "").strip().splitlines()[0]
+        print(f"{name:8s} {headline}")
+    return 0
+
+
+def _cmd_experiments(names: list[str], quick: bool) -> int:
+    from repro.experiments import ALL_EXPERIMENTS
+
+    targets = names or sorted(ALL_EXPERIMENTS)
+    unknown = [n for n in targets if n not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(sorted(ALL_EXPERIMENTS))}", file=sys.stderr)
+        return 2
+    for name in targets:
+        start = time.perf_counter()
+        result = ALL_EXPERIMENTS[name](quick=quick)
+        elapsed = time.perf_counter() - start
+        print(result.format_table())
+        print(f"   [{elapsed:.1f}s]")
+        print(flush=True)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="S2C2 (SC '19) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command")
+    run_p = sub.add_parser("experiments", help="regenerate paper figures")
+    run_p.add_argument("names", nargs="*", help="figure ids (default: all)")
+    run_p.add_argument(
+        "--quick", action="store_true", help="reduced CI-scale configurations"
+    )
+    sub.add_parser("list", help="list available experiments")
+    sub.add_parser("version", help="print the package version")
+    args = parser.parse_args(argv)
+    if args.command == "experiments":
+        return _cmd_experiments(args.names, args.quick)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "version":
+        from repro import __version__
+
+        print(__version__)
+        return 0
+    parser.print_help()
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

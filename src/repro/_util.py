@@ -1,0 +1,118 @@
+"""Small internal helpers shared across the :mod:`repro` package.
+
+These utilities deliberately stay dependency-free (NumPy only) and contain
+the argument-validation and RNG plumbing used by every subsystem, so error
+messages are consistent across the code base.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "as_rng",
+    "check_positive_int",
+    "check_probability",
+    "check_fraction",
+    "ranges_to_indices",
+    "indices_to_ranges",
+    "largest_remainder_round",
+]
+
+
+def as_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Accepts an existing generator (returned unchanged), an integer seed, or
+    ``None`` (fresh OS-entropy generator).  Centralising this makes every
+    stochastic component of the library reproducible from a single integer.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def check_positive_int(value: int, name: str) -> int:
+    """Validate that ``value`` is a positive integer and return it."""
+    if not isinstance(value, (int, np.integer)) or isinstance(value, bool):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return int(value)
+
+
+def check_probability(value: float, name: str) -> float:
+    """Validate that ``value`` lies in ``[0, 1]`` and return it as float."""
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+    return value
+
+
+def check_fraction(value: float, name: str) -> float:
+    """Validate that ``value`` is a finite non-negative float."""
+    value = float(value)
+    if not np.isfinite(value) or value < 0.0:
+        raise ValueError(f"{name} must be finite and >= 0, got {value}")
+    return value
+
+
+def ranges_to_indices(ranges: Iterable[tuple[int, int]]) -> np.ndarray:
+    """Expand half-open ``(begin, end)`` ranges into a flat index array.
+
+    Ranges must be non-wrapping (``begin <= end``); empty ranges are allowed
+    and contribute nothing.
+    """
+    parts = []
+    for begin, end in ranges:
+        if end < begin:
+            raise ValueError(f"range ({begin}, {end}) has end < begin")
+        if end > begin:
+            parts.append(np.arange(begin, end, dtype=np.int64))
+    if not parts:
+        return np.empty(0, dtype=np.int64)
+    return np.concatenate(parts)
+
+
+def indices_to_ranges(indices: Sequence[int] | np.ndarray) -> tuple[tuple[int, int], ...]:
+    """Compress a sorted, duplicate-free index array into half-open ranges."""
+    idx = np.asarray(indices, dtype=np.int64)
+    if idx.size == 0:
+        return ()
+    if np.any(np.diff(idx) <= 0):
+        raise ValueError("indices must be strictly increasing")
+    breaks = np.flatnonzero(np.diff(idx) != 1)
+    starts = np.concatenate(([0], breaks + 1))
+    ends = np.concatenate((breaks, [idx.size - 1]))
+    return tuple((int(idx[s]), int(idx[e]) + 1) for s, e in zip(starts, ends))
+
+
+def largest_remainder_round(weights: np.ndarray, total: int) -> np.ndarray:
+    """Apportion ``total`` integer units proportionally to ``weights``.
+
+    Uses the largest-remainder (Hamilton) method so that the result sums to
+    exactly ``total`` and is within one unit of the exact proportional share.
+    Zero-weight entries receive zero units.  Ties are broken by index for
+    determinism.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.ndim != 1:
+        raise ValueError("weights must be 1-D")
+    if np.any(weights < 0):
+        raise ValueError("weights must be non-negative")
+    wsum = weights.sum()
+    if total == 0:
+        return np.zeros(weights.shape, dtype=np.int64)
+    if wsum <= 0:
+        raise ValueError("at least one weight must be positive when total > 0")
+    exact = weights * (total / wsum)
+    base = np.floor(exact).astype(np.int64)
+    short = total - int(base.sum())
+    if short > 0:
+        remainders = exact - base
+        # Stable argsort descending by remainder, then ascending index.
+        order = np.lexsort((np.arange(weights.size), -remainders))
+        base[order[:short]] += 1
+    return base

@@ -1,0 +1,25 @@
+"""Workloads: the applications the paper evaluates (§6.3)."""
+
+from repro.apps.datasets import (
+    make_classification,
+    make_graph_laplacian,
+    make_web_graph,
+)
+from repro.apps.graph_filter import GraphFilter
+from repro.apps.hessian import HessianWorkload, NewtonLogisticRegression
+from repro.apps.logistic_regression import LogisticRegressionGD, direct_operators
+from repro.apps.pagerank import PowerIterationPageRank
+from repro.apps.svm import LinearSVMGD
+
+__all__ = [
+    "GraphFilter",
+    "HessianWorkload",
+    "LinearSVMGD",
+    "LogisticRegressionGD",
+    "NewtonLogisticRegression",
+    "PowerIterationPageRank",
+    "direct_operators",
+    "make_classification",
+    "make_graph_laplacian",
+    "make_web_graph",
+]

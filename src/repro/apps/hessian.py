@@ -1,0 +1,100 @@
+"""Distributed Hessian computation via polynomial codes (§6.3, §7.2.3).
+
+Second-order optimisation of generalised linear models needs the Hessian
+``H(w) = Aᵀ diag(s(w)) A`` with a per-iteration weight vector ``s(w)``
+(for logistic regression, ``s = σ(Aw)(1 - σ(Aw))``).  The data-dependent
+part — the bilinear product with a changing diagonal — is exactly what
+polynomial-coded S2C2 accelerates, since the encoded partitions of
+``Aᵀ`` and ``A`` are distributed once and only ``s`` moves per iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro._util import check_positive_int
+
+__all__ = ["HessianWorkload", "NewtonLogisticRegression"]
+
+BilinearOp = Callable[[np.ndarray], np.ndarray]
+"""Maps the diagonal vector ``s`` to ``Aᵀ diag(s) A`` (distributed or not)."""
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(z, -500.0, 500.0)))
+
+
+@dataclass(frozen=True)
+class HessianWorkload:
+    """Repeated Hessian computations with a drifting diagonal (the §7.2.3
+    benchmark workload: same ``A``, new ``diag(x)`` every iteration)."""
+
+    hessian_op: BilinearOp
+    n_samples: int
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.n_samples, "n_samples")
+
+    def run(self, iterations: int, seed: int | None = 0) -> np.ndarray:
+        """Run ``iterations`` Hessian computations; returns the last one."""
+        check_positive_int(iterations, "iterations")
+        rng = np.random.default_rng(seed)
+        diag = rng.uniform(0.5, 1.5, size=self.n_samples)
+        result = None
+        for _ in range(iterations):
+            result = self.hessian_op(diag)
+            # Drift the diagonal like an optimiser trajectory would.
+            diag = np.clip(diag * rng.uniform(0.9, 1.1, size=diag.size), 0.05, 2.0)
+        return result
+
+
+@dataclass
+class NewtonLogisticRegression:
+    """Newton's method for logistic regression with a distributed Hessian.
+
+    Gradients use direct NumPy (they are cheap); only the Hessian — the
+    expensive bilinear term — goes through the distributed operator.
+    """
+
+    features: np.ndarray
+    labels: np.ndarray
+    hessian_op: BilinearOp
+    reg: float = 1e-4
+    weights: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        self.features = np.asarray(self.features, dtype=np.float64)
+        self.labels = np.asarray(self.labels, dtype=np.float64)
+        if not np.all(np.isin(self.labels, (-1.0, 1.0))):
+            raise ValueError("labels must be in {-1, +1}")
+        if self.reg < 0:
+            raise ValueError("reg must be >= 0")
+
+    def step(self) -> float:
+        """One Newton step; returns the loss before the step."""
+        if self.weights is None:
+            self.weights = np.zeros(self.features.shape[1])
+        margins = self.labels * (self.features @ self.weights)
+        loss = float(
+            np.mean(np.logaddexp(0.0, -margins))
+            + 0.5 * self.reg * float(self.weights @ self.weights)
+        )
+        probs = _sigmoid(-margins)
+        grad = (
+            -(self.features.T @ (self.labels * probs)) / self.labels.size
+            + self.reg * self.weights
+        )
+        diag = probs * (1.0 - probs) / self.labels.size
+        hessian = self.hessian_op(diag) + self.reg * np.eye(self.features.shape[1])
+        self.weights = self.weights - np.linalg.solve(hessian, grad)
+        return loss
+
+    def run(self, iterations: int) -> np.ndarray:
+        """Run ``iterations`` Newton steps and return the weights."""
+        check_positive_int(iterations, "iterations")
+        for _ in range(iterations):
+            self.step()
+        return self.weights

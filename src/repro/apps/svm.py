@@ -1,0 +1,87 @@
+"""Linear SVM by subgradient descent over distributed mat-vecs (§6.3, §7.2).
+
+The paper's cloud experiments run SVM gradient descent; structurally it is
+the same two-mat-vec-per-iteration loop as logistic regression with the
+hinge loss in place of the logistic loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro._util import check_positive_int
+
+__all__ = ["LinearSVMGD"]
+
+MatVec = Callable[[np.ndarray], np.ndarray]
+
+
+@dataclass
+class LinearSVMGD:
+    """L2-regularised linear SVM trained with full-batch subgradient descent.
+
+    Parameters mirror
+    :class:`~repro.apps.logistic_regression.LogisticRegressionGD`.
+    """
+
+    forward: MatVec
+    backward: MatVec
+    labels: np.ndarray
+    lr: float = 0.2
+    reg: float = 1e-3
+    weights: np.ndarray | None = None
+    _losses: list[float] = field(init=False, default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.labels = np.asarray(self.labels, dtype=np.float64)
+        if not np.all(np.isin(self.labels, (-1.0, 1.0))):
+            raise ValueError("labels must be in {-1, +1}")
+        if self.lr <= 0:
+            raise ValueError("lr must be positive")
+        if self.reg < 0:
+            raise ValueError("reg must be >= 0")
+
+    @property
+    def losses(self) -> list[float]:
+        """Per-iteration regularised hinge losses."""
+        return list(self._losses)
+
+    def step(self) -> float:
+        """One subgradient iteration; returns the loss before the step."""
+        if self.weights is None:
+            raise RuntimeError("call run() or set weights before stepping")
+        margins = self.labels * self.forward(self.weights)
+        hinge = np.maximum(0.0, 1.0 - margins)
+        loss = float(
+            np.mean(hinge) + 0.5 * self.reg * float(self.weights @ self.weights)
+        )
+        active = (margins < 1.0).astype(np.float64)
+        residual = -(self.labels * active) / self.labels.size
+        grad = self.backward(residual) + self.reg * self.weights
+        self.weights = self.weights - self.lr * grad
+        self._losses.append(loss)
+        return loss
+
+    def run(self, iterations: int, n_features: int | None = None) -> np.ndarray:
+        """Run ``iterations`` steps (initialising weights to zero if unset)."""
+        check_positive_int(iterations, "iterations")
+        if self.weights is None:
+            if n_features is None:
+                raise ValueError("n_features required to initialise weights")
+            self.weights = np.zeros(n_features)
+        for _ in range(iterations):
+            self.step()
+        return self.weights
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Predicted ±1 labels for ``features``."""
+        if self.weights is None:
+            raise RuntimeError("model not trained")
+        return np.where(features @ self.weights >= 0.0, 1.0, -1.0)
+
+    def accuracy(self, features: np.ndarray, labels: np.ndarray) -> float:
+        """Classification accuracy on ``(features, labels)``."""
+        return float(np.mean(self.predict(features) == labels))

@@ -1,0 +1,110 @@
+"""Network and computation cost models for the cluster simulator.
+
+The simulator charges three kinds of time, mirroring the paper's measured
+execution-time breakdown (§7.1): worker compute time, master↔worker
+communication, and master-side decode.  All knobs live here so experiments
+can dial the compute/communication ratio to match either the paper's local
+InfiniBand cluster (communication almost free) or the cloud setting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._util import check_fraction
+
+__all__ = ["NetworkModel", "CostModel"]
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Point-to-point link model: fixed latency plus bandwidth term.
+
+    Links are independent (full-bisection), so a broadcast costs one
+    transfer time — each worker has its own link to the master, which is
+    how the paper's InfiniBand switch behaves for these message sizes.
+
+    Attributes
+    ----------
+    latency:
+        One-way message latency in seconds.
+    bandwidth:
+        Link bandwidth in bytes/second.
+    """
+
+    latency: float = 1e-4
+    bandwidth: float = 1e9
+
+    def __post_init__(self) -> None:
+        check_fraction(self.latency, "latency")
+        if self.bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {self.bandwidth}")
+
+    def transfer_time(self, nbytes: float) -> float:
+        """Seconds to move ``nbytes`` over one link."""
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        return self.latency + nbytes / self.bandwidth
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Arithmetic cost model for workers and the master.
+
+    Attributes
+    ----------
+    bytes_per_element:
+        Storage per matrix element (float64 → 8).
+    flops_per_element:
+        Work per matrix element per product (multiply + add → 2).
+    worker_flops:
+        A speed-1.0 worker's throughput in flop/s; a worker with speed
+        ``s`` sustains ``s × worker_flops``.
+    master_flops:
+        The master's decode throughput in flop/s.
+    """
+
+    bytes_per_element: float = 8.0
+    flops_per_element: float = 2.0
+    worker_flops: float = 2e9
+    master_flops: float = 8e9
+
+    def __post_init__(self) -> None:
+        for name in ("bytes_per_element", "flops_per_element", "worker_flops", "master_flops"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+
+    def row_bytes(self, width: int) -> float:
+        """Bytes of one matrix row of ``width`` columns."""
+        return width * self.bytes_per_element
+
+    def compute_time(self, rows: float, width: int, speed: float) -> float:
+        """Seconds for a worker at ``speed`` to process ``rows`` rows.
+
+        Raises ``ValueError`` for non-positive speed — callers model dead
+        workers by omitting them, not with zero speed.
+        """
+        if speed <= 0:
+            raise ValueError(f"speed must be positive, got {speed}")
+        if rows < 0:
+            raise ValueError(f"rows must be >= 0, got {rows}")
+        return rows * width * self.flops_per_element / (self.worker_flops * speed)
+
+    def rows_computable(self, elapsed: float, width: int, speed: float) -> float:
+        """Rows a worker at ``speed`` finishes in ``elapsed`` seconds."""
+        if elapsed <= 0:
+            return 0.0
+        per_row = width * self.flops_per_element / (self.worker_flops * speed)
+        return elapsed / per_row
+
+    def decode_time(
+        self, rows: int, coverage: int, width_out: int, groups: int = 1
+    ) -> float:
+        """Master time to decode ``rows`` row indices at ``coverage`` K.
+
+        One ``K × K`` factorisation per provider group plus a ``K²`` back
+        substitution per decoded row of output width ``width_out``.
+        """
+        factor = groups * coverage**3
+        solve = rows * coverage**2 * max(width_out, 1)
+        return (factor + solve) * self.flops_per_element / self.master_flops

@@ -1,0 +1,619 @@
+"""Per-iteration cluster simulators for coded and uncoded strategies.
+
+Because worker speeds are constant within an iteration (the measurement
+granularity of the paper, §6.2), one iteration's timeline is a deterministic
+function of the work plan, the actual speeds, and the cost models — so each
+simulator computes the exact event times in closed form instead of running a
+generic event loop.  Mid-iteration control decisions (speculative execution
+in the replication baseline, §4.3 timeout repair in S2C2) are points on that
+timeline and are resolved exactly.
+
+Three simulators, one per strategy family:
+
+* :class:`CodedIterationSim` — conventional coded computation *and* S2C2
+  (the plan encodes the difference), with optional timeout repair and
+  worker-failure injection.
+* :class:`ReplicationIterationSim` — uncoded r-replication with LATE-style
+  speculative re-execution.
+* :class:`OverDecompositionIterationSim` — Charm++-like over-decomposition
+  with partition migration.
+
+Every simulator returns an outcome carrying the iteration latency breakdown,
+per-worker computed/used row counts (the wasted-computation accounting of
+Figs 9/11), the bytes moved for load balancing, and the *contributions* the
+master actually uses — which the runtime layer then executes numerically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.network import CostModel, NetworkModel
+from repro.coding.partition import ChunkGrid
+from repro.scheduling.base import CodedWorkPlan
+from repro.scheduling.overdecomposition import OverDecompositionPlan
+from repro.scheduling.replication import ReplicaPlacement, SpeculationConfig
+from repro.scheduling.timeout import TimeoutPolicy, repair_assignments
+
+__all__ = [
+    "WorkerIterationStats",
+    "CodedIterationOutcome",
+    "CodedIterationSim",
+    "UncodedIterationOutcome",
+    "ReplicationIterationSim",
+    "OverDecompositionIterationSim",
+]
+
+
+@dataclass
+class WorkerIterationStats:
+    """Per-worker accounting for one iteration.
+
+    ``computed_rows`` includes partial progress of cancelled tasks;
+    ``used_rows`` counts only rows whose results entered the decoded (or
+    assembled) output.  ``wasted = computed - used`` is the quantity of
+    Figs 9 and 11.
+    """
+
+    worker: int
+    assigned_rows: int = 0
+    computed_rows: float = 0.0
+    used_rows: int = 0
+    response_time: float | None = None
+    cancelled: bool = False
+
+    @property
+    def wasted_rows(self) -> float:
+        """Rows of computation that did not contribute to the result."""
+        return max(0.0, self.computed_rows - self.used_rows)
+
+    @property
+    def wasted_fraction(self) -> float:
+        """Wasted share of this worker's computation (0 when it did nothing)."""
+        if self.computed_rows <= 0:
+            return 0.0
+        return self.wasted_rows / self.computed_rows
+
+
+@dataclass
+class CodedIterationOutcome:
+    """Result of simulating one coded iteration."""
+
+    completion_time: float
+    broadcast_time: float
+    decode_time: float
+    workers: list[WorkerIterationStats]
+    contributions: dict[int, np.ndarray]
+    repaired: bool = False
+    timed_out_workers: frozenset[int] = frozenset()
+    data_moved_bytes: float = 0.0
+
+    def wasted_fraction_per_worker(self) -> np.ndarray:
+        """Fig 9/11 series: per-worker wasted-computation fraction."""
+        return np.array([w.wasted_fraction for w in self.workers])
+
+    def total_wasted_rows(self) -> float:
+        """Cluster-wide wasted row computations this iteration."""
+        return float(sum(w.wasted_rows for w in self.workers))
+
+    def total_computed_rows(self) -> float:
+        """Cluster-wide row computations (used + wasted)."""
+        return float(sum(w.computed_rows for w in self.workers))
+
+
+@dataclass(frozen=True)
+class CodedIterationSim:
+    """Simulate one iteration of coded computation under a work plan.
+
+    Parameters
+    ----------
+    grid:
+        Chunk→row geometry of the encoded partitions.
+    width:
+        Columns of the encoded matrix (per-row compute/communicate cost).
+    width_out:
+        Width of each result row (1 for mat-vec).
+    network, cost:
+        Cost models.
+    timeout:
+        §4.3 repair policy; ``None`` disables repair (conventional coded
+        computation always waits for coverage).
+    """
+
+    grid: ChunkGrid
+    width: int
+    width_out: int = 1
+    broadcast_width: int | None = None
+    #: Fixed per-task flops paid once by every worker that computes at
+    #: least one row, regardless of how many rows it was assigned.  Models
+    #: row-count-independent task phases such as the ``diag(x) B̃ᵢ``
+    #: scaling pass of the polynomial-coded Hessian (§7.2.3), which is why
+    #: S2C2's gains there stay below the n/k bound.
+    fixed_task_flops: float = 0.0
+    network: NetworkModel = field(default_factory=NetworkModel)
+    cost: CostModel = field(default_factory=CostModel)
+    timeout: TimeoutPolicy | None = None
+
+    def _arrival(self, rows: int, speed: float, start: float) -> float:
+        """Absolute arrival time at the master of a ``rows``-row task."""
+        compute = self.cost.compute_time(rows, self.width, speed)
+        fixed = self.fixed_task_flops / (self.cost.worker_flops * speed)
+        reply = self.network.transfer_time(
+            rows * self.cost.row_bytes(self.width_out)
+        )
+        return start + fixed + compute + reply
+
+    def _progress_rows(
+        self, speed: float, start: float, until: float, cap: int
+    ) -> float:
+        """Rows finished by ``until`` for a task started at ``start``."""
+        fixed = self.fixed_task_flops / (self.cost.worker_flops * speed)
+        done = self.cost.rows_computable(until - start - fixed, self.width, speed)
+        return float(min(cap, max(0.0, done)))
+
+    def run(
+        self,
+        plan: CodedWorkPlan,
+        speeds: np.ndarray,
+        failed_workers: frozenset[int] = frozenset(),
+    ) -> CodedIterationOutcome:
+        """Simulate the iteration and return the outcome.
+
+        ``speeds`` are the *actual* speeds (the plan may have been built
+        from different, predicted speeds — that gap is what the timeout
+        mechanism repairs).  ``failed_workers`` never respond, regardless
+        of speed.
+        """
+        speeds = np.asarray(speeds, dtype=np.float64)
+        n = plan.n_workers
+        if speeds.shape != (n,):
+            raise ValueError(f"speeds must have shape ({n},), got {speeds.shape}")
+        if np.any(speeds <= 0):
+            raise ValueError("actual speeds must be positive (model failures "
+                             "via failed_workers)")
+        broadcast = self.network.transfer_time(
+            (self.broadcast_width if self.broadcast_width is not None else self.width)
+            * self.cost.bytes_per_element
+        )
+        stats = [WorkerIterationStats(worker=w) for w in range(n)]
+        chunk_rows = {
+            w: self.grid.rows_of_chunks(plan.assignments[w].chunk_indices())
+            for w in range(n)
+        }
+        arrivals: dict[int, float] = {}
+        active: list[int] = []
+        for w in range(n):
+            rows = int(chunk_rows[w].size)
+            stats[w].assigned_rows = rows
+            if rows == 0:
+                continue
+            active.append(w)
+            if w in failed_workers:
+                arrivals[w] = np.inf
+            else:
+                arrivals[w] = self._arrival(rows, speeds[w], broadcast)
+
+        # --- Find the natural coverage-completion time. ---------------------
+        # Walk arrivals in time order; each worker's *useful* chunks are the
+        # ones still lacking coverage when it arrives (the master uses the
+        # first `coverage` results per chunk and ignores the rest, §2).
+        order = sorted(active, key=lambda w: (arrivals[w], w))
+        need = np.full(plan.num_chunks, plan.coverage, dtype=np.int64)
+        natural: dict[int, np.ndarray] = {}
+        done_time = np.inf
+        for w in order:
+            if arrivals[w] == np.inf:
+                break
+            chunks = plan.assignments[w].chunk_indices()
+            useful = chunks[need[chunks] > 0]
+            if useful.size:
+                natural[w] = useful
+                need[useful] -= 1
+                if not need.any():
+                    done_time = arrivals[w]
+                    break
+        contributions: dict[int, np.ndarray] = {}
+        repaired = False
+        timed_out: frozenset[int] = frozenset()
+        extra_rows: dict[int, int] = {}
+        repair_arrival = 0.0
+
+        deadline = self._timeout_deadline(plan, order, arrivals)
+        if (
+            self.timeout is not None
+            and deadline is not None
+            and done_time > deadline
+        ):
+            # Workers that were assigned no chunks this iteration still
+            # hold their full encoded partitions (§4.4): the master can
+            # recruit them for repair work alongside the finished workers.
+            idle_alive = [
+                w
+                for w in range(n)
+                if plan.assignments[w].num_chunks == 0 and w not in failed_workers
+            ]
+            outcome = self._attempt_repair(
+                plan, speeds, arrivals, order, deadline, stats, idle_alive
+            )
+            # Opportunistic repair: the master keeps accepting straggler
+            # results while the reassigned work is in flight, so repair
+            # only shortens the iteration when it actually finishes first.
+            if outcome is not None and outcome[3] < done_time:
+                (contributions, extra_rows, timed_out, repair_arrival) = outcome
+                repaired = True
+                done_time = repair_arrival
+
+        if not repaired:
+            if done_time == np.inf:
+                raise RuntimeError(
+                    "iteration cannot complete: coverage unsatisfiable with "
+                    "the surviving workers and no repair possible"
+                )
+            contributions = natural
+
+        # --- Accounting: computed vs used rows per worker. ------------------
+        for w in active:
+            rows = stats[w].assigned_rows
+            if repaired and w in timed_out:
+                stats[w].cancelled = True
+                cap_time = deadline if deadline is not None else done_time
+                if w in failed_workers:
+                    stats[w].computed_rows = 0.0
+                else:
+                    stats[w].computed_rows = self._progress_rows(
+                        speeds[w], broadcast, cap_time, rows
+                    )
+                continue
+            if arrivals[w] <= done_time:
+                stats[w].computed_rows = float(rows)
+                stats[w].response_time = arrivals[w]
+            else:
+                # Still running when the master finished: cancelled.
+                stats[w].cancelled = True
+                if w in failed_workers:
+                    stats[w].computed_rows = 0.0
+                else:
+                    stats[w].computed_rows = self._progress_rows(
+                        speeds[w], broadcast, done_time, rows
+                    )
+        for w, chunks in contributions.items():
+            base_chunks = plan.assignments[w].chunk_indices()
+            used = self.grid.rows_of_chunks(np.asarray(chunks, dtype=np.int64))
+            stats[w].used_rows = int(used.size)
+            if repaired and w in extra_rows:
+                stats[w].computed_rows = float(
+                    self.grid.rows_of_chunks(base_chunks).size + extra_rows[w]
+                )
+        decode = self.cost.decode_time(
+            rows=self.grid.rows,
+            coverage=plan.coverage,
+            width_out=self.width_out,
+            groups=max(1, len(contributions)),
+        )
+        return CodedIterationOutcome(
+            completion_time=done_time + decode,
+            broadcast_time=broadcast,
+            decode_time=decode,
+            workers=stats,
+            contributions=contributions,
+            repaired=repaired,
+            timed_out_workers=timed_out,
+        )
+
+    def _timeout_deadline(
+        self,
+        plan: CodedWorkPlan,
+        order: list[int],
+        arrivals: dict[int, float],
+    ) -> float | None:
+        """§4.3: deadline armed after the first ``k`` responses, or None.
+
+        When fewer than ``k`` workers can ever respond (failures among the
+        assigned set), the deadline arms from every response that does
+        arrive — a real master cannot distinguish "slow" from "dead" and
+        must eventually time out either way.
+        """
+        if self.timeout is None:
+            return None
+        k = self.timeout.min_responses or plan.coverage
+        finite = [arrivals[w] for w in order if arrivals[w] < np.inf]
+        if not finite:
+            return None
+        first_k = sorted(finite)[: min(k, len(finite))]
+        return self.timeout.deadline(float(np.mean(first_k)))
+
+    def _attempt_repair(
+        self,
+        plan: CodedWorkPlan,
+        speeds: np.ndarray,
+        arrivals: dict[int, float],
+        order: list[int],
+        deadline: float,
+        stats: list[WorkerIterationStats],
+        idle_alive: list[int] | None = None,
+    ):
+        """Cancel laggards at ``deadline`` and reassign their chunks.
+
+        ``idle_alive`` workers (assigned nothing, but holding their coded
+        partitions and presumed responsive) are recruited as additional
+        repair helpers.  When reassignment among the workers finished *by
+        the deadline* cannot restore coverage (e.g. several laggards but a
+        dead worker among them), the master keeps collecting responses and
+        re-attempts at each subsequent arrival — so only genuinely
+        unreachable coverage makes repair fail.  Returns
+        ``(contributions, extra_rows, timed_out, finish_time)`` or ``None``
+        (the master then falls back to waiting — §4.4).
+        """
+        later_arrivals = sorted(
+            arrivals[w] for w in order if deadline < arrivals[w] < np.inf
+        )
+        for cutoff in [deadline, *later_arrivals]:
+            finished = {
+                w: plan.assignments[w].chunk_indices()
+                for w in order
+                if arrivals[w] <= cutoff
+            }
+            for w in idle_alive or ():
+                finished.setdefault(w, np.empty(0, dtype=np.int64))
+            laggards = frozenset(w for w in order if arrivals[w] > cutoff)
+            if not laggards or not finished:
+                return None
+            try:
+                extra = repair_assignments(plan, finished, speeds)
+            except ValueError:
+                continue  # wait for the next response, then reconsider
+            contributions: dict[int, np.ndarray] = {
+                w: chunks.copy() for w, chunks in finished.items()
+            }
+            extra_rows: dict[int, int] = {}
+            finish = cutoff
+            dispatch = cutoff + self.network.latency  # reassignment message
+            for w, chunks in extra.items():
+                rows = self.grid.rows_of_chunks(chunks)
+                extra_rows[w] = int(rows.size)
+                arrival = self._arrival(int(rows.size), speeds[w], dispatch)
+                finish = max(finish, arrival)
+                contributions[w] = np.concatenate([contributions[w], chunks])
+            for w, stat in enumerate(stats):
+                if w in finished and w in arrivals:
+                    stat.response_time = arrivals[w]
+            return contributions, extra_rows, laggards, finish
+        return None
+
+
+@dataclass
+class UncodedIterationOutcome:
+    """Result of simulating one uncoded (replication / over-decomp) iteration."""
+
+    completion_time: float
+    broadcast_time: float
+    workers: list[WorkerIterationStats]
+    partition_owner: dict[int, int]
+    data_moved_bytes: float = 0.0
+    speculative_launches: int = 0
+    migrations: int = 0
+
+    def wasted_fraction_per_worker(self) -> np.ndarray:
+        """Per-worker wasted-computation fraction (duplicated task copies)."""
+        return np.array([w.wasted_fraction for w in self.workers])
+
+
+@dataclass(frozen=True)
+class ReplicationIterationSim:
+    """Uncoded r-replication with speculative re-execution (§7.1 baseline).
+
+    Every worker computes its primary partition.  When ``watch_fraction``
+    of the tasks have completed, the master speculatively relaunches the
+    still-running tasks on idle (already finished) workers — preferring
+    replica holders, paying a partition transfer otherwise — up to
+    ``max_speculative`` launches.  A task finishes when its fastest copy
+    does; the other copy's work is wasted.
+    """
+
+    placement: ReplicaPlacement
+    config: SpeculationConfig
+    rows_per_partition: int
+    width: int
+    width_out: int = 1
+    network: NetworkModel = field(default_factory=NetworkModel)
+    cost: CostModel = field(default_factory=CostModel)
+
+    def _arrival(self, rows: int, speed: float, start: float) -> float:
+        compute = self.cost.compute_time(rows, self.width, speed)
+        reply = self.network.transfer_time(rows * self.cost.row_bytes(self.width_out))
+        return start + compute + reply
+
+    def run(
+        self,
+        speeds: np.ndarray,
+        failed_workers: frozenset[int] = frozenset(),
+    ) -> UncodedIterationOutcome:
+        """Simulate one iteration; every partition must produce one result."""
+        n = self.placement.n_workers
+        speeds = np.asarray(speeds, dtype=np.float64)
+        if speeds.shape != (n,):
+            raise ValueError(f"speeds must have shape ({n},), got {speeds.shape}")
+        if np.any(speeds <= 0):
+            raise ValueError("speeds must be positive; use failed_workers")
+        rows = self.rows_per_partition
+        broadcast = self.network.transfer_time(self.width * self.cost.bytes_per_element)
+        stats = [WorkerIterationStats(worker=w, assigned_rows=rows) for w in range(n)]
+        primary_arrival = np.array(
+            [
+                np.inf if w in failed_workers else self._arrival(rows, speeds[w], broadcast)
+                for w in range(n)
+            ]
+        )
+        finite = np.sort(primary_arrival[np.isfinite(primary_arrival)])
+        watch_count = max(1, int(np.ceil(self.config.watch_fraction * n)))
+        if finite.size >= watch_count:
+            watch_time = float(finite[watch_count - 1])
+        else:
+            watch_time = float(finite[-1]) if finite.size else broadcast
+
+        # Speculation: relaunch the laggard tasks on idle finished workers.
+        laggards = [
+            p for p in range(n) if primary_arrival[p] > watch_time
+        ]
+        laggards.sort(key=lambda p: -primary_arrival[p])  # slowest first
+        idle = [
+            w
+            for w in range(n)
+            if primary_arrival[w] <= watch_time and w not in failed_workers
+        ]
+        idle.sort(key=lambda w: -speeds[w])  # fastest first
+        spec_tasks: dict[int, tuple[int, float, float]] = {}  # p -> (holder, start, arrival)
+        data_moved = 0.0
+        launches = 0
+        partition_bytes = rows * self.cost.row_bytes(self.width)
+        for p in laggards:
+            if launches >= self.config.max_speculative or not idle:
+                break
+            # Prefer an idle replica holder; otherwise move the data (if the
+            # policy allows it — strict-locality Hadoop does not).
+            holder = next(
+                (w for w in idle if self.placement.has_copy(w, p)), None
+            )
+            start = watch_time + self.network.latency
+            if holder is None:
+                if not self.config.allow_data_movement:
+                    continue
+                holder = idle[0]
+                start += self.network.transfer_time(partition_bytes)
+                data_moved += partition_bytes
+            idle.remove(holder)
+            spec_tasks[p] = (holder, start, self._arrival(rows, speeds[holder], start))
+            launches += 1
+
+        owner: dict[int, int] = {}
+        completion = 0.0
+        for p in range(n):
+            candidates = [(primary_arrival[p], p)]
+            if p in spec_tasks:
+                holder, _start, t = spec_tasks[p]
+                candidates.append((t, holder))
+            t_done, who = min(candidates)
+            if t_done == np.inf:
+                raise RuntimeError(
+                    f"partition {p} cannot complete: primary failed and no "
+                    "speculative copy was launched"
+                )
+            owner[p] = who
+            completion = max(completion, t_done)
+
+        # Accounting. Primary copies: full if arrived before completion,
+        # partial otherwise (cancelled at iteration end).
+        for w in range(n):
+            if w in failed_workers:
+                stats[w].computed_rows = 0.0
+                stats[w].cancelled = True
+                continue
+            if primary_arrival[w] <= completion:
+                stats[w].computed_rows = float(rows)
+                stats[w].response_time = float(primary_arrival[w])
+            else:
+                elapsed = completion - broadcast
+                stats[w].computed_rows = float(
+                    min(rows, self.cost.rows_computable(elapsed, self.width, speeds[w]))
+                )
+                stats[w].cancelled = True
+        for p, (holder, start, arrival) in spec_tasks.items():
+            # The speculative copy also computed (fully if it beat the end,
+            # partially if it was cancelled when the primary finished first).
+            if arrival <= completion:
+                done = float(rows)
+            else:
+                done = min(
+                    float(rows),
+                    self.cost.rows_computable(
+                        completion - start, self.width, speeds[holder]
+                    ),
+                )
+            stats[holder].computed_rows += max(0.0, done)
+        for p, w in owner.items():
+            stats[w].used_rows += rows
+        return UncodedIterationOutcome(
+            completion_time=completion,
+            broadcast_time=broadcast,
+            workers=stats,
+            partition_owner=owner,
+            data_moved_bytes=data_moved,
+            speculative_launches=launches,
+        )
+
+
+@dataclass(frozen=True)
+class OverDecompositionIterationSim:
+    """Charm++-like over-decomposition with migration (§7.2 baseline).
+
+    The per-iteration plan (built by
+    :class:`~repro.scheduling.overdecomposition.OverDecompositionPlacement`
+    from *predicted* speeds) assigns each partition to one worker; migrated
+    partitions are fetched over the worker's link before it starts
+    computing.  Completion is the slowest worker's finish — mis-predicted
+    speeds directly inflate it, which is why this baseline trails S2C2 in
+    the high-churn environment (Fig 10).
+    """
+
+    rows_per_partition: int
+    width: int
+    width_out: int = 1
+    network: NetworkModel = field(default_factory=NetworkModel)
+    cost: CostModel = field(default_factory=CostModel)
+
+    def run(
+        self,
+        plan: OverDecompositionPlan,
+        speeds: np.ndarray,
+        failed_workers: frozenset[int] = frozenset(),
+    ) -> UncodedIterationOutcome:
+        """Simulate one iteration of the over-decomposition strategy."""
+        speeds = np.asarray(speeds, dtype=np.float64)
+        n = speeds.size
+        if np.any(speeds <= 0):
+            raise ValueError("speeds must be positive; use failed_workers")
+        if failed_workers & set(np.unique(plan.owner).tolist()):
+            raise RuntimeError(
+                "a failed worker owns partitions; over-decomposition has no "
+                "repair path within an iteration"
+            )
+        rows = self.rows_per_partition
+        broadcast = self.network.transfer_time(self.width * self.cost.bytes_per_element)
+        partition_bytes = rows * self.cost.row_bytes(self.width)
+        stats = [WorkerIterationStats(worker=w) for w in range(n)]
+        owner: dict[int, int] = {}
+        completion = 0.0
+        data_moved = 0.0
+        for w in range(n):
+            mine = plan.partitions_of(w)
+            if mine.size == 0:
+                continue
+            migrations = int(plan.migrated[mine].sum())
+            fetch = sum(
+                self.network.transfer_time(partition_bytes)
+                for _ in range(migrations)
+            )
+            data_moved += migrations * partition_bytes
+            total_rows = int(rows * mine.size)
+            stats[w].assigned_rows = total_rows
+            compute = self.cost.compute_time(total_rows, self.width, speeds[w])
+            reply = self.network.transfer_time(
+                total_rows * self.cost.row_bytes(self.width_out)
+            )
+            arrival = broadcast + fetch + compute + reply
+            stats[w].computed_rows = float(total_rows)
+            stats[w].used_rows = total_rows
+            stats[w].response_time = arrival
+            completion = max(completion, arrival)
+            for p in mine:
+                owner[int(p)] = w
+        return UncodedIterationOutcome(
+            completion_time=completion,
+            broadcast_time=broadcast,
+            workers=stats,
+            partition_owner=owner,
+            data_moved_bytes=data_moved,
+            migrations=int(plan.migrated.sum()),
+        )

@@ -1,0 +1,46 @@
+"""Coded-computation substrates: MDS and polynomial codes over the reals.
+
+Public entry points:
+
+* :class:`~repro.coding.mds.MDSCode` — (n, k)-MDS coded mat-vec / mat-mat.
+* :class:`~repro.coding.polynomial.PolynomialCode` — coded bilinear products.
+* :class:`~repro.coding.linear.AnyKRowDecoder` — shared row-level decoder.
+* :class:`~repro.coding.partition.RowPartition` /
+  :class:`~repro.coding.partition.ChunkGrid` — index arithmetic.
+"""
+
+from repro.coding.linear import (
+    AnyKRowDecoder,
+    chebyshev_points,
+    haar_generator,
+    random_gaussian_generator,
+    systematic_cauchy_generator,
+    systematic_gaussian_generator,
+    vandermonde_generator,
+    verify_any_k_property,
+)
+from repro.coding.gradient import GradientCode
+from repro.coding.lagrange import EncodedLagrange, LagrangeCode
+from repro.coding.mds import EncodedMatrix, MDSCode
+from repro.coding.partition import ChunkGrid, RowPartition
+from repro.coding.polynomial import EncodedBilinear, PolynomialCode
+
+__all__ = [
+    "AnyKRowDecoder",
+    "ChunkGrid",
+    "EncodedBilinear",
+    "EncodedLagrange",
+    "EncodedMatrix",
+    "GradientCode",
+    "LagrangeCode",
+    "MDSCode",
+    "PolynomialCode",
+    "RowPartition",
+    "chebyshev_points",
+    "haar_generator",
+    "random_gaussian_generator",
+    "systematic_cauchy_generator",
+    "systematic_gaussian_generator",
+    "vandermonde_generator",
+    "verify_any_k_property",
+]

@@ -1,0 +1,138 @@
+"""Gradient coding (Tandon et al., ICML'17) — the paper's cited alternative.
+
+The paper's related work ([38]) points to *gradient coding* as the other
+major coded approach to straggler-resilient gradient descent: instead of
+encoding the data matrix, each worker stores several raw data partitions
+and returns a linear combination of their partial gradients; the master
+recovers the exact *sum* of all partial gradients from any ``n - s``
+workers.
+
+This module implements the **fractional repetition** scheme, the variant
+of Tandon et al. with a closed-form optimality proof:
+
+* ``n`` workers are split into ``n / (s+1)`` groups of ``s + 1`` workers;
+* group ``g`` stores partition block ``g`` (``s + 1`` of the ``n``
+  partitions) and every worker in it returns the plain *sum* of its
+  block's partial gradients;
+* any ``n - s`` workers miss at most ``s`` workers, so every
+  ``(s+1)``-worker group retains at least one survivor — picking one
+  contribution per group and summing recovers ``Σ_j g_j`` exactly.
+
+The scheme requires ``(s + 1) | n``.  Gradient coding trades ``(s+1)×``
+raw storage and compute *every iteration* for straggler tolerance —
+contrast with S2C2, which keeps storage at ``n/k ×`` (coded) and modulates
+per-iteration compute with observed speeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro._util import check_positive_int
+
+__all__ = ["GradientCode"]
+
+
+@dataclass(frozen=True)
+class GradientCode:
+    """Fractional-repetition gradient code over ``n`` workers, ``s`` stragglers.
+
+    Parameters
+    ----------
+    n:
+        Number of workers (= number of data partitions); must be a
+        multiple of ``s + 1``.
+    s:
+        Stragglers tolerated; each worker stores ``s + 1`` partitions.
+    """
+
+    n: int
+    s: int
+    matrix: np.ndarray = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.n, "n")
+        if not 0 <= self.s < self.n:
+            raise ValueError(f"s must be in [0, n), got {self.s}")
+        if self.n % (self.s + 1) != 0:
+            raise ValueError(
+                f"fractional repetition needs (s+1) | n; got n={self.n}, "
+                f"s={self.s}"
+            )
+        b = np.zeros((self.n, self.n))
+        for worker in range(self.n):
+            b[worker, list(self._block(worker // (self.s + 1)))] = 1.0
+        object.__setattr__(self, "matrix", b)
+
+    @property
+    def replication(self) -> int:
+        """Partitions stored (and gradients computed) per worker: ``s + 1``."""
+        return self.s + 1
+
+    @property
+    def num_groups(self) -> int:
+        """Number of worker groups: ``n / (s + 1)``."""
+        return self.n // (self.s + 1)
+
+    def _block(self, group: int) -> range:
+        return range(group * (self.s + 1), (group + 1) * (self.s + 1))
+
+    def group_of(self, worker: int) -> int:
+        """Group index of ``worker``."""
+        if not 0 <= worker < self.n:
+            raise IndexError(f"worker {worker} out of range")
+        return worker // (self.s + 1)
+
+    def supports(self, worker: int) -> tuple[int, ...]:
+        """Partitions stored by ``worker`` (its group's block)."""
+        return tuple(self._block(self.group_of(worker)))
+
+    def decoding_vector(self, workers: np.ndarray | list[int]) -> np.ndarray:
+        """Coefficients ``a`` with ``aᵀ B[workers] = 𝟙ᵀ``.
+
+        Picks one surviving worker per group (coefficient 1).  Requires
+        every group to have a survivor — guaranteed whenever
+        ``len(workers) ≥ n - s``, but checked directly so callers may pass
+        any set with full group coverage.
+        """
+        workers = sorted(set(int(w) for w in workers))
+        if any(w < 0 or w >= self.n for w in workers):
+            raise IndexError("worker index out of range")
+        chosen: dict[int, int] = {}
+        for position, w in enumerate(workers):
+            chosen.setdefault(self.group_of(w), position)
+        if len(chosen) < self.num_groups:
+            missing = sorted(
+                set(range(self.num_groups)) - set(chosen)
+            )
+            raise ValueError(
+                f"groups {missing} have no surviving worker; need at least "
+                f"one of each (any {self.n - self.s} workers suffice)"
+            )
+        a = np.zeros(len(workers))
+        for position in chosen.values():
+            a[position] = 1.0
+        return a
+
+    def partial_gradient(
+        self, worker: int, gradients: dict[int, np.ndarray]
+    ) -> np.ndarray:
+        """Worker task: the sum of its block's partial gradients.
+
+        ``gradients`` maps partition index → partial gradient; it must
+        contain every partition in :meth:`supports`.
+        """
+        support = self.supports(worker)
+        missing = [j for j in support if j not in gradients]
+        if missing:
+            raise KeyError(f"worker {worker} lacks gradients for {missing}")
+        return sum(np.asarray(gradients[j], dtype=np.float64) for j in support)
+
+    def decode(self, contributions: dict[int, np.ndarray]) -> np.ndarray:
+        """Recover ``Σ_j g_j`` from any ``n - s`` worker contributions."""
+        workers = sorted(contributions)
+        a = self.decoding_vector(workers)
+        stacked = np.stack([contributions[w] for w in workers])
+        return np.tensordot(a, stacked, axes=1)

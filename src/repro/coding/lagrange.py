@@ -1,0 +1,193 @@
+"""Lagrange coded computing (LCC) — coded evaluation of polynomials.
+
+The paper positions S2C2 on top of MDS and polynomial codes and notes (§2)
+that *Lagrange coded computing* (Yu et al., AISTATS'19) generalises coded
+computation to **arbitrary multivariate polynomial** functions.  This module
+implements that substrate so the library covers the full coded-computing
+hierarchy the paper references:
+
+Given ``k`` datasets ``X_1 … X_k`` and a polynomial function ``f`` of total
+degree ``d``, LCC encodes the datasets along the degree-``(k-1)`` Lagrange
+interpolant
+
+.. math:: u(z) = \\sum_j X_j \\, \\ell_j(z),
+
+where ``ℓ_j`` are the Lagrange basis polynomials through interpolation
+points ``β_1 … β_k``.  Worker ``i`` stores ``Z_i = u(α_i)`` and returns
+``f(Z_i) = (f ∘ u)(α_i)`` — a degree ``d(k-1)`` polynomial in ``α`` — so the
+master recovers ``f ∘ u`` from **any** ``d(k-1)+1`` responses and reads off
+``f(X_j) = (f ∘ u)(β_j)``.
+
+Because recovery is again "solve a Vandermonde system per row", the shared
+:class:`~repro.coding.linear.AnyKRowDecoder` does the work, and S2C2's
+row-level chunk scheduling applies unchanged to any *row-wise* ``f`` (each
+output row depends only on the same input row).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro._util import check_positive_int
+from repro.coding.linear import AnyKRowDecoder, chebyshev_points, vandermonde_generator
+
+__all__ = ["LagrangeCode", "EncodedLagrange"]
+
+
+@dataclass(frozen=True)
+class LagrangeCode:
+    """An LCC code over ``n`` workers for ``k`` datasets and degree ``d``.
+
+    Parameters
+    ----------
+    n:
+        Number of workers.
+    k:
+        Number of input datasets (the interpolant's degree is ``k - 1``).
+    degree:
+        Total degree of the polynomial function ``f`` to be computed.
+        The recovery threshold is ``degree * (k - 1) + 1`` and must not
+        exceed ``n``.
+
+    Notes
+    -----
+    Interpolation points ``β`` and evaluation points ``α`` are chosen as
+    disjoint interleaved Chebyshev nodes, keeping both the encoding and the
+    decode Vandermonde systems well conditioned over the reals.
+    """
+
+    n: int
+    k: int
+    degree: int
+    alpha: np.ndarray = field(init=False, repr=False, compare=False)
+    beta: np.ndarray = field(init=False, repr=False, compare=False)
+    matrix: np.ndarray = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.n, "n")
+        check_positive_int(self.k, "k")
+        check_positive_int(self.degree, "degree")
+        if self.coverage > self.n:
+            raise ValueError(
+                f"recovery threshold {self.coverage} = degree*(k-1)+1 "
+                f"exceeds n={self.n}"
+            )
+        # Interleave one Chebyshev family for both point sets: the β
+        # (interpolation) points must be *spread across* [-1, 1], not
+        # clustered at one end, or the Lagrange basis blows up at the α
+        # (evaluation) points and decoding loses precision.
+        nodes = chebyshev_points(self.n + self.k)
+        beta_idx = np.unique(
+            np.round(np.linspace(0, self.n + self.k - 1, self.k)).astype(int)
+        )
+        mask = np.zeros(self.n + self.k, dtype=bool)
+        mask[beta_idx] = True
+        object.__setattr__(self, "beta", nodes[mask])
+        object.__setattr__(self, "alpha", nodes[~mask])
+        object.__setattr__(
+            self,
+            "matrix",
+            vandermonde_generator(self.n, self.coverage, self.alpha),
+        )
+
+    @property
+    def coverage(self) -> int:
+        """Responses needed to decode: ``degree * (k - 1) + 1``."""
+        return self.degree * (self.k - 1) + 1
+
+    @property
+    def max_stragglers(self) -> int:
+        """Worst-case full stragglers tolerated."""
+        return self.n - self.coverage
+
+    def _basis_at(self, z: np.ndarray) -> np.ndarray:
+        """Evaluate the ``k`` Lagrange basis polynomials at points ``z``."""
+        z = np.atleast_1d(np.asarray(z, dtype=np.float64))
+        out = np.empty((z.size, self.k))
+        for j in range(self.k):
+            others = np.delete(self.beta, j)
+            num = np.prod(z[:, None] - others[None, :], axis=1)
+            den = float(np.prod(self.beta[j] - others))
+            out[:, j] = num / den
+        return out
+
+    def encode(self, datasets: list[np.ndarray] | np.ndarray) -> "EncodedLagrange":
+        """Encode ``k`` same-shape datasets into ``n`` worker shares.
+
+        ``datasets`` is a length-``k`` sequence of equal-shape 2-D arrays
+        (or a stacked ``(k, rows, cols)`` array).
+        """
+        stacked = np.asarray(datasets, dtype=np.float64)
+        if stacked.ndim != 3 or stacked.shape[0] != self.k:
+            raise ValueError(
+                f"datasets must stack to (k={self.k}, rows, cols); "
+                f"got shape {stacked.shape}"
+            )
+        weights = self._basis_at(self.alpha)  # (n, k)
+        shares = np.einsum("ij,jrc->irc", weights, stacked)
+        return EncodedLagrange(code=self, shares=shares, shape=stacked.shape[1:])
+
+
+@dataclass(frozen=True)
+class EncodedLagrange:
+    """The ``n`` encoded shares of one LCC computation."""
+
+    code: LagrangeCode
+    shares: np.ndarray  # (n, rows, cols)
+    shape: tuple[int, ...]
+
+    @property
+    def rows(self) -> int:
+        """Rows per share — the row-index space S2C2 schedules over."""
+        return int(self.shares.shape[1])
+
+    def compute(
+        self,
+        worker: int,
+        f: Callable[[np.ndarray], np.ndarray],
+        row_indices: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Worker task: apply ``f`` to (a row subset of) its share.
+
+        ``f`` must be a polynomial map of total degree ``code.degree`` and,
+        when ``row_indices`` is given, *row-wise* (output row ``r`` depends
+        only on input row ``r``) — the property that makes partial S2C2
+        assignments decodable.
+        """
+        if not 0 <= worker < self.code.n:
+            raise IndexError(f"worker {worker} out of range")
+        share = self.shares[worker]
+        if row_indices is not None:
+            share = share[np.asarray(row_indices, dtype=np.int64)]
+        result = np.asarray(f(share), dtype=np.float64)
+        if result.shape[0] != share.shape[0]:
+            raise ValueError(
+                "f must preserve the number of rows (row-wise polynomial)"
+            )
+        return result
+
+    def decoder(self, width: int) -> AnyKRowDecoder:
+        """Row-level decoder over the Vandermonde(α, coverage) generator.
+
+        ``width`` is the per-row output width of ``f``.
+        """
+        return AnyKRowDecoder(self.code.matrix, rows=self.rows, width=width)
+
+    def assemble(self, coefficients: np.ndarray) -> np.ndarray:
+        """Evaluate the decoded polynomial at the β points.
+
+        ``coefficients`` is the decoder's ``(coverage, rows, width)``
+        output — the monomial coefficients of ``f ∘ u`` per row.  Returns
+        the stacked ``(k, rows, width)`` results ``f(X_j)``.
+        """
+        coverage = self.code.coverage
+        if coefficients.shape[0] != coverage:
+            raise ValueError(
+                f"expected {coverage} coefficient rows, got "
+                f"{coefficients.shape[0]}"
+            )
+        powers = np.vander(self.code.beta, coverage, increasing=True)  # (k, D+1)
+        return np.einsum("jm,mrw->jrw", powers, coefficients)

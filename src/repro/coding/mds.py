@@ -1,0 +1,179 @@
+"""Real-valued (n, k)-MDS coded computation for linear algebra.
+
+An :class:`MDSCode` vertically splits a data matrix ``A`` (``D`` rows) into
+``k`` equal blocks ``A_0 … A_{k-1}`` and encodes them into ``n`` coded
+partitions ``E_i = Σ_j G[i, j] A_j`` using a generator ``G`` whose every
+``k × k`` row submatrix is invertible.  Worker ``i`` stores ``E_i`` once;
+on every iteration it computes ``E_i[rows] @ x`` for whatever row subset the
+scheduler assigns, and the master decodes ``A @ x`` from any ``k``
+contributions per row index (paper §2).
+
+The same object also supports coded matrix–matrix products
+(``E_i[rows] @ X``) since encoding is linear in the rows of ``A``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro._util import as_rng
+from repro.coding.linear import (
+    AnyKRowDecoder,
+    haar_generator,
+    random_gaussian_generator,
+    systematic_cauchy_generator,
+    systematic_gaussian_generator,
+    vandermonde_generator,
+)
+from repro.coding.partition import RowPartition
+
+__all__ = ["MDSCode", "EncodedMatrix"]
+
+_GENERATORS = (
+    "systematic-gaussian",
+    "systematic-cauchy",
+    "haar",
+    "vandermonde-chebyshev",
+    "vandermonde-integer",
+    "random-gaussian",
+)
+
+
+@dataclass(frozen=True)
+class MDSCode:
+    """An (n, k)-MDS code over the reals.
+
+    Parameters
+    ----------
+    n:
+        Number of coded partitions (= workers).
+    k:
+        Recovery threshold: any ``k`` coded results per row index suffice to
+        decode.  ``n - k`` is the number of full stragglers tolerated.
+    generator:
+        Generator construction, one of ``"systematic-gaussian"`` (default),
+        ``"systematic-cauchy"``, ``"haar"``, ``"vandermonde-chebyshev"``,
+        ``"vandermonde-integer"`` or ``"random-gaussian"``.  See
+        :mod:`repro.coding.linear` for the conditioning trade-offs.
+    seed:
+        Used by the randomized generator constructions.
+    """
+
+    n: int
+    k: int
+    generator: str = "systematic-gaussian"
+    seed: int | None = 0
+    matrix: np.ndarray = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.k <= 0 or self.n <= 0:
+            raise ValueError("n and k must be positive")
+        if self.k > self.n:
+            raise ValueError(f"k={self.k} cannot exceed n={self.n}")
+        if self.generator not in _GENERATORS:
+            raise ValueError(
+                f"generator must be one of {_GENERATORS}, got {self.generator!r}"
+            )
+        if self.generator == "systematic-gaussian":
+            g = systematic_gaussian_generator(self.n, self.k, as_rng(self.seed))
+        elif self.generator == "systematic-cauchy":
+            g = systematic_cauchy_generator(self.n, self.k)
+        elif self.generator == "haar":
+            g = haar_generator(self.n, self.k, as_rng(self.seed))
+        elif self.generator == "vandermonde-chebyshev":
+            g = vandermonde_generator(self.n, self.k, "chebyshev")
+        elif self.generator == "vandermonde-integer":
+            g = vandermonde_generator(self.n, self.k, "integer")
+        else:
+            g = random_gaussian_generator(self.n, self.k, as_rng(self.seed))
+        object.__setattr__(self, "matrix", g)
+
+    @property
+    def redundancy(self) -> float:
+        """Storage/compute blow-up relative to uncoded: ``n / k``."""
+        return self.n / self.k
+
+    @property
+    def max_stragglers(self) -> int:
+        """Worst-case full stragglers tolerated: ``n - k``."""
+        return self.n - self.k
+
+    def partition(self, total_rows: int) -> RowPartition:
+        """Return the :class:`RowPartition` used to encode a ``total_rows`` matrix."""
+        return RowPartition(total_rows, self.k)
+
+    def encode(self, matrix: np.ndarray) -> "EncodedMatrix":
+        """Encode ``matrix`` into ``n`` coded partitions.
+
+        This is the one-time setup cost the paper excludes from iteration
+        latency; the runtime charges it separately.
+        """
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2:
+            raise ValueError("matrix must be 2-D")
+        part = self.partition(matrix.shape[0])
+        blocks = part.blocks(matrix)  # (k, R, m)
+        coded = np.einsum("ij,jrm->irm", self.matrix, blocks)
+        return EncodedMatrix(code=self, part=part, partitions=coded)
+
+    def decoder(self, total_rows: int, width: int = 1) -> AnyKRowDecoder:
+        """Create a row-level decoder for results on a ``total_rows`` matrix."""
+        part = self.partition(total_rows)
+        return AnyKRowDecoder(self.matrix, rows=part.block_rows, width=width)
+
+
+@dataclass(frozen=True)
+class EncodedMatrix:
+    """The ``n`` coded partitions of one data matrix plus decode helpers."""
+
+    code: MDSCode
+    part: RowPartition
+    partitions: np.ndarray  # (n, block_rows, m)
+
+    @property
+    def block_rows(self) -> int:
+        """Rows per coded partition (the shared row-index space)."""
+        return self.part.block_rows
+
+    @property
+    def width(self) -> int:
+        """Number of columns of the encoded (and original) matrix."""
+        return int(self.partitions.shape[2])
+
+    def storage_fraction_per_node(self) -> float:
+        """Fraction of the original data stored by each worker (``1/k``)."""
+        return self.block_rows / self.part.total_rows
+
+    def compute(self, worker: int, row_indices: np.ndarray, x: np.ndarray) -> np.ndarray:
+        """Numerically perform worker ``worker``'s task: ``E_i[rows] @ x``.
+
+        ``x`` may be a vector ``(m,)`` or a matrix ``(m, p)``.
+        """
+        if not 0 <= worker < self.code.n:
+            raise IndexError(f"worker {worker} out of range")
+        row_indices = np.asarray(row_indices, dtype=np.int64)
+        return self.partitions[worker, row_indices, :] @ x
+
+    def decoder(self, width: int | None = None) -> AnyKRowDecoder:
+        """Create a decoder for results of :meth:`compute` calls.
+
+        ``width`` defaults to 1 (mat-vec); pass ``p`` for mat-mat products.
+        """
+        return AnyKRowDecoder(
+            self.code.matrix,
+            rows=self.block_rows,
+            width=1 if width is None else width,
+        )
+
+    def assemble(self, decoded: np.ndarray) -> np.ndarray:
+        """Turn decoder output ``(k, block_rows, width)`` into ``A @ x``.
+
+        Strips the zero-padding rows and, for mat-vec results
+        (``width == 1``), squeezes the trailing axis.
+        """
+        result = self.part.unpad(decoded)
+        if result.shape[-1] == 1:
+            return result[..., 0]
+        return result

@@ -1,0 +1,39 @@
+"""Per-figure reproduction experiments (see DESIGN.md §4 for the index).
+
+Each ``figNN_*`` module exposes ``run(quick=True) -> ExperimentResult``
+and a printable ``main()``; ``benchmarks/`` wraps each in a pytest-benchmark
+target with shape assertions.
+"""
+
+from repro.experiments import (
+    fig01_motivation,
+    fig02_traces,
+    fig03_storage,
+    fig06_lr,
+    fig07_pagerank,
+    fig08_cloud_low,
+    fig09_waste_low,
+    fig10_cloud_high,
+    fig11_waste_high,
+    fig12_polynomial,
+    fig13_scale,
+    sec61_prediction,
+)
+from repro.experiments.harness import ExperimentResult
+
+ALL_EXPERIMENTS = {
+    "fig01": fig01_motivation.run,
+    "fig02": fig02_traces.run,
+    "fig03": fig03_storage.run,
+    "fig06": fig06_lr.run,
+    "fig07": fig07_pagerank.run,
+    "fig08": fig08_cloud_low.run,
+    "fig09": fig09_waste_low.run,
+    "fig10": fig10_cloud_high.run,
+    "fig11": fig11_waste_high.run,
+    "fig12": fig12_polynomial.run,
+    "fig13": fig13_scale.run,
+    "sec61": sec61_prediction.run,
+}
+
+__all__ = ["ALL_EXPERIMENTS", "ExperimentResult"]

@@ -1,0 +1,49 @@
+"""Figure 8 — cloud execution times, low mis-prediction environment.
+
+Paper values (normalised to S2C2(10,7) = 1.00): over-decomposition 1.00,
+MDS(8,7) 1.36, MDS(9,7) 1.31, MDS(10,7) 1.39, S2C2(8,7) 1.23,
+S2C2(9,7) 1.09.  Shapes to reproduce:
+
+* all three MDS variants cluster together (each worker computes S/7
+  regardless of n) and sit ~30–40% above S2C2(10,7);
+* S2C2 improves monotonically with redundancy (10,7) < (9,7) < (8,7);
+* over-decomposition ≈ S2C2(10,7) when predictions are accurate (both use
+  all 10 workers and move no data).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.cloud_common import CODE_VARIANTS, run_cloud_suite
+from repro.experiments.harness import ExperimentResult
+
+__all__ = ["run", "main"]
+
+
+def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+    """Reproduce Fig 8: strategy → normalised execution time."""
+    cloud = run_cloud_suite("low", quick=quick, seed=seed)
+    normalised = cloud.normalised("s2c2-10-7")
+    result = ExperimentResult(
+        name="fig08",
+        description="Cloud SVM execution time, low mis-prediction (×S2C2(10,7))",
+        columns=("strategy", "relative-time"),
+    )
+    result.add_row("over-decomposition", normalised["over-decomposition"])
+    for n in CODE_VARIANTS:
+        result.add_row(f"mds-{n}-7", normalised[f"mds-{n}-7"])
+    for n in CODE_VARIANTS:
+        result.add_row(f"s2c2-{n}-7", normalised[f"s2c2-{n}-7"])
+    result.notes = (
+        f"observed mis-prediction rate {cloud.misprediction_rate:.1%} "
+        "(paper: ~0%); expected: MDS variants ~1.3-1.4, S2C2 redundancy "
+        "monotone, over-decomposition ~1.0"
+    )
+    return result
+
+
+def main() -> None:
+    print(run(quick=False).format_table())
+
+
+if __name__ == "__main__":
+    main()

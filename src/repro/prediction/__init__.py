@@ -1,0 +1,44 @@
+"""Speed forecasting: trace generation, LSTM, ARIMA, online predictors."""
+
+from repro.prediction.arima import ARIMA111Model, ARModel
+from repro.prediction.lstm import LSTMSpeedModel, LSTMState, mape
+from repro.prediction.predictor import (
+    ARPredictor,
+    LastValuePredictor,
+    LSTMPredictor,
+    OnlinePredictor,
+    OraclePredictor,
+    StalePredictor,
+    misprediction_rate,
+)
+from repro.prediction.traces import (
+    BURSTY,
+    MEASURED,
+    STABLE,
+    VOLATILE,
+    TraceConfig,
+    generate_speed_traces,
+    regime_lengths,
+)
+
+__all__ = [
+    "ARIMA111Model",
+    "ARModel",
+    "ARPredictor",
+    "BURSTY",
+    "LSTMPredictor",
+    "LSTMSpeedModel",
+    "LSTMState",
+    "LastValuePredictor",
+    "MEASURED",
+    "OnlinePredictor",
+    "OraclePredictor",
+    "STABLE",
+    "StalePredictor",
+    "TraceConfig",
+    "VOLATILE",
+    "generate_speed_traces",
+    "mape",
+    "misprediction_rate",
+    "regime_lengths",
+]

@@ -1,0 +1,223 @@
+"""Online per-node speed predictors used by the S2C2 master (paper §6.2).
+
+Every iteration the master measures each worker's speed as
+``rows_assigned / response_time``, feeds the measurements to a predictor,
+and uses the forecast to build the next iteration's work plan.  Workers
+that did no work (or were cancelled) yield no measurement — passed as NaN
+— and predictors carry their previous estimate forward.
+
+Implementations:
+
+* :class:`LastValuePredictor` — predict the last observation (the naive
+  floor every learned model must beat);
+* :class:`ARPredictor` — wraps a fitted :class:`~repro.prediction.arima.ARModel`;
+* :class:`LSTMPredictor` — wraps a trained
+  :class:`~repro.prediction.lstm.LSTMSpeedModel` with per-node recurrent
+  state;
+* :class:`OraclePredictor` — perfect knowledge of the next iteration's
+  speeds (the "knowing the exact speeds" upper bound of Fig 6/7);
+* :class:`StalePredictor` — an adversarial oracle that is wrong with a
+  configurable probability, used to dial the low/high mis-prediction
+  environments in experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro._util import as_rng, check_positive_int, check_probability
+from repro.cluster.speed_models import SpeedModel
+from repro.prediction.arima import ARModel
+from repro.prediction.lstm import LSTMSpeedModel
+
+__all__ = [
+    "OnlinePredictor",
+    "LastValuePredictor",
+    "ARPredictor",
+    "LSTMPredictor",
+    "OraclePredictor",
+    "StalePredictor",
+    "misprediction_rate",
+]
+
+
+def misprediction_rate(
+    predicted: np.ndarray, actual: np.ndarray, tolerance: float = 0.15
+) -> float:
+    """Fraction of forecasts off by more than ``tolerance`` relatively.
+
+    The paper's timeout slack (15%) doubles as its mis-prediction
+    criterion: a forecast is "wrong" when the true speed deviates from it
+    by more than the slack the scheduler budgets for.
+    """
+    predicted = np.asarray(predicted, dtype=np.float64)
+    actual = np.asarray(actual, dtype=np.float64)
+    if predicted.shape != actual.shape:
+        raise ValueError("predicted and actual must have the same shape")
+    if predicted.size == 0:
+        return 0.0
+    rel = np.abs(predicted - actual) / np.maximum(actual, 1e-12)
+    return float(np.mean(rel > tolerance))
+
+
+@runtime_checkable
+class OnlinePredictor(Protocol):
+    """Per-iteration interface: observe measured speeds, forecast the next."""
+
+    def update(self, observed: np.ndarray) -> None:
+        """Record this iteration's measurements (NaN = no measurement)."""
+        ...
+
+    def predict(self) -> np.ndarray:
+        """Forecast the next iteration's per-node speeds."""
+        ...
+
+
+def _fill_nan_with(values: np.ndarray, fallback: np.ndarray) -> np.ndarray:
+    mask = np.isnan(values)
+    if mask.any():
+        values = values.copy()
+        values[mask] = fallback[mask]
+    return values
+
+
+@dataclass
+class LastValuePredictor:
+    """Predict each node's next speed as its last observed speed."""
+
+    n_nodes: int
+    initial: float = 1.0
+    _last: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.n_nodes, "n_nodes")
+        self._last = np.full(self.n_nodes, float(self.initial))
+
+    def update(self, observed: np.ndarray) -> None:
+        observed = np.asarray(observed, dtype=np.float64)
+        if observed.shape != (self.n_nodes,):
+            raise ValueError(f"observed must have shape ({self.n_nodes},)")
+        self._last = _fill_nan_with(observed, self._last)
+
+    def predict(self) -> np.ndarray:
+        return self._last.copy()
+
+
+@dataclass
+class ARPredictor:
+    """Online wrapper around a fitted AR(p) model."""
+
+    model: ARModel
+    n_nodes: int
+    initial: float = 1.0
+    _history: list[np.ndarray] = field(init=False, repr=False)
+    _last: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.n_nodes, "n_nodes")
+        if self.model.coef is None:
+            raise ValueError("ARPredictor requires a fitted ARModel")
+        self._history = []
+        self._last = np.full(self.n_nodes, float(self.initial))
+
+    def update(self, observed: np.ndarray) -> None:
+        observed = np.asarray(observed, dtype=np.float64)
+        if observed.shape != (self.n_nodes,):
+            raise ValueError(f"observed must have shape ({self.n_nodes},)")
+        self._last = _fill_nan_with(observed, self._last)
+        self._history.append(self._last.copy())
+        if len(self._history) > self.model.p:
+            self._history.pop(0)
+
+    def predict(self) -> np.ndarray:
+        if len(self._history) < self.model.p:
+            return self._last.copy()
+        history = np.stack(self._history, axis=1)
+        return np.clip(self.model.predict_next(history), 1e-6, None)
+
+
+@dataclass
+class LSTMPredictor:
+    """Online wrapper around a trained LSTM with per-node recurrent state."""
+
+    model: LSTMSpeedModel
+    n_nodes: int
+    initial: float = 1.0
+    _state: object = field(init=False, repr=False)
+    _pred: np.ndarray = field(init=False, repr=False)
+    _last: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.n_nodes, "n_nodes")
+        self._state = self.model.initial_state(self.n_nodes)
+        self._pred = np.full(self.n_nodes, float(self.initial))
+        self._last = np.full(self.n_nodes, float(self.initial))
+
+    def update(self, observed: np.ndarray) -> None:
+        observed = np.asarray(observed, dtype=np.float64)
+        if observed.shape != (self.n_nodes,):
+            raise ValueError(f"observed must have shape ({self.n_nodes},)")
+        filled = _fill_nan_with(observed, self._last)
+        self._last = filled
+        self._pred = np.clip(self.model.step(self._state, filled), 1e-6, None)
+
+    def predict(self) -> np.ndarray:
+        return self._pred.copy()
+
+
+@dataclass
+class OraclePredictor:
+    """Perfect next-iteration prediction ("knowing the exact speeds").
+
+    Wraps the experiment's speed model; :meth:`predict` returns the true
+    speeds of the iteration about to execute.  The iteration counter
+    advances on :meth:`update`, mirroring the measured-feedback loop.
+    """
+
+    speed_model: SpeedModel
+    _iteration: int = field(init=False, default=0)
+
+    def update(self, observed: np.ndarray) -> None:
+        self._iteration += 1
+
+    def predict(self) -> np.ndarray:
+        return np.asarray(self.speed_model.speeds(self._iteration), dtype=np.float64)
+
+
+@dataclass
+class StalePredictor:
+    """Oracle corrupted with probability ``miss_rate`` per node-iteration.
+
+    Missed nodes get a forecast drawn from their *previous* iteration's
+    speed (exactly the failure mode of real forecasters at regime
+    boundaries).  Used to construct controlled low/high mis-prediction
+    environments without retraining models.
+    """
+
+    speed_model: SpeedModel
+    miss_rate: float = 0.15
+    seed: int | None = 0
+    _iteration: int = field(init=False, default=0)
+    _rng: np.random.Generator = field(init=False, repr=False)
+    _prev: np.ndarray | None = field(init=False, default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        check_probability(self.miss_rate, "miss_rate")
+        self._rng = as_rng(self.seed)
+
+    def update(self, observed: np.ndarray) -> None:
+        self._prev = np.asarray(observed, dtype=np.float64).copy()
+        self._iteration += 1
+
+    def predict(self) -> np.ndarray:
+        truth = np.asarray(
+            self.speed_model.speeds(self._iteration), dtype=np.float64
+        )
+        if self._prev is None or self.miss_rate == 0.0:
+            return truth
+        prev = np.where(np.isnan(self._prev), truth, self._prev)
+        missed = self._rng.random(truth.size) < self.miss_rate
+        return np.where(missed, prev, truth)

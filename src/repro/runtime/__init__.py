@@ -1,0 +1,17 @@
+"""Runtime layer: compute sessions, metrics, and storage accounting."""
+
+from repro.runtime.metrics import IterationRecord, RunMetrics, StorageTracker
+from repro.runtime.session import (
+    CodedSession,
+    OverDecompositionSession,
+    ReplicationSession,
+)
+
+__all__ = [
+    "CodedSession",
+    "IterationRecord",
+    "OverDecompositionSession",
+    "ReplicationSession",
+    "RunMetrics",
+    "StorageTracker",
+]

@@ -1,0 +1,48 @@
+"""Work-assignment strategies: S2C2 and the paper's baselines.
+
+* :class:`~repro.scheduling.s2c2.GeneralS2C2Scheduler` — Algorithm 1,
+  speed-proportional slack squeeze (the paper's contribution).
+* :class:`~repro.scheduling.s2c2.BasicS2C2Scheduler` — binary
+  fast/straggler variant (§4.1).
+* :class:`~repro.scheduling.static.StaticCodedScheduler` — conventional
+  coded computation (full partitions, fastest-k decode).
+* :class:`~repro.scheduling.replication.ReplicaPlacement` /
+  :class:`~repro.scheduling.replication.SpeculationConfig` — uncoded
+  r-replication with speculation.
+* :class:`~repro.scheduling.overdecomposition.OverDecompositionPlacement`
+  — Charm++-like over-decomposition with migration.
+* :mod:`repro.scheduling.timeout` — §4.3 mis-prediction repair.
+"""
+
+from repro.scheduling.base import ChunkAssignment, CodedWorkPlan, Scheduler, full_plan
+from repro.scheduling.overdecomposition import (
+    OverDecompositionPlacement,
+    OverDecompositionPlan,
+)
+from repro.scheduling.replication import ReplicaPlacement, SpeculationConfig
+from repro.scheduling.s2c2 import (
+    BasicS2C2Scheduler,
+    GeneralS2C2Scheduler,
+    allocate_chunks,
+    wraparound_plan,
+)
+from repro.scheduling.static import StaticCodedScheduler
+from repro.scheduling.timeout import TimeoutPolicy, repair_assignments
+
+__all__ = [
+    "BasicS2C2Scheduler",
+    "ChunkAssignment",
+    "CodedWorkPlan",
+    "GeneralS2C2Scheduler",
+    "OverDecompositionPlacement",
+    "OverDecompositionPlan",
+    "ReplicaPlacement",
+    "Scheduler",
+    "SpeculationConfig",
+    "StaticCodedScheduler",
+    "TimeoutPolicy",
+    "allocate_chunks",
+    "full_plan",
+    "repair_assignments",
+    "wraparound_plan",
+]

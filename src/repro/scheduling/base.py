@@ -1,0 +1,179 @@
+"""Work-plan data model shared by all coded scheduling strategies.
+
+A *coded work plan* assigns, to each of ``n`` workers, a set of chunk ranges
+within that worker's (single) encoded partition.  All workers share the same
+chunk index space ``0 … num_chunks-1`` because every encoded partition is a
+linear combination of the same row blocks.  A plan is *decodable* when every
+chunk is assigned to at least ``coverage`` workers (``k`` for MDS codes,
+``a·b`` for polynomial codes) — the property the
+:class:`~repro.coding.linear.AnyKRowDecoder` needs to recover every row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro._util import ranges_to_indices
+
+__all__ = ["ChunkAssignment", "CodedWorkPlan", "Scheduler", "full_plan"]
+
+
+@dataclass(frozen=True)
+class ChunkAssignment:
+    """The chunk ranges one worker must compute in its encoded partition.
+
+    ``ranges`` are half-open, non-overlapping, non-wrapping ``(begin, end)``
+    chunk intervals.  A wrap-around arc from the general S2C2 algorithm is
+    represented as two ranges.
+    """
+
+    worker: int
+    ranges: tuple[tuple[int, int], ...]
+
+    def __post_init__(self) -> None:
+        if self.worker < 0:
+            raise ValueError(f"worker must be >= 0, got {self.worker}")
+        last_end = None
+        for begin, end in self.ranges:
+            if begin < 0 or end < begin:
+                raise ValueError(f"invalid chunk range ({begin}, {end})")
+        # Overlap detection on sorted copies (ranges may be given unsorted).
+        ordered = sorted(self.ranges)
+        for (b1, e1), (b2, _e2) in zip(ordered, ordered[1:]):
+            if b2 < e1:
+                raise ValueError(f"overlapping chunk ranges near ({b1}, {e1})")
+        del last_end
+
+    @property
+    def num_chunks(self) -> int:
+        """Total chunks assigned to this worker."""
+        return sum(end - begin for begin, end in self.ranges)
+
+    def chunk_indices(self) -> np.ndarray:
+        """Expand the ranges into a flat, sorted array of chunk indices."""
+        idx = ranges_to_indices(self.ranges)
+        idx.sort()
+        return idx
+
+    def is_empty(self) -> bool:
+        """True when the worker is assigned no work this iteration."""
+        return self.num_chunks == 0
+
+
+@dataclass(frozen=True)
+class CodedWorkPlan:
+    """A full per-iteration assignment over ``n_workers`` workers.
+
+    Attributes
+    ----------
+    n_workers:
+        Cluster size ``n``.
+    num_chunks:
+        Chunks per encoded partition (the over-decomposition granularity).
+    coverage:
+        Minimum workers that must compute each chunk for decodability.
+    assignments:
+        Exactly one :class:`ChunkAssignment` per worker, in worker order.
+    """
+
+    n_workers: int
+    num_chunks: int
+    coverage: int
+    assignments: tuple[ChunkAssignment, ...]
+
+    def __post_init__(self) -> None:
+        if self.n_workers <= 0 or self.num_chunks <= 0 or self.coverage <= 0:
+            raise ValueError("n_workers, num_chunks, coverage must be positive")
+        if self.coverage > self.n_workers:
+            raise ValueError(
+                f"coverage {self.coverage} exceeds n_workers {self.n_workers}"
+            )
+        if len(self.assignments) != self.n_workers:
+            raise ValueError(
+                f"expected {self.n_workers} assignments, got {len(self.assignments)}"
+            )
+        for idx, assignment in enumerate(self.assignments):
+            if assignment.worker != idx:
+                raise ValueError(
+                    f"assignment {idx} is for worker {assignment.worker}; "
+                    "assignments must be in worker order"
+                )
+            for _begin, end in assignment.ranges:
+                if end > self.num_chunks:
+                    raise ValueError(
+                        f"worker {idx} range ends at {end} > num_chunks "
+                        f"{self.num_chunks}"
+                    )
+
+    def chunk_coverage(self) -> np.ndarray:
+        """Return how many workers compute each chunk (length ``num_chunks``)."""
+        coverage = np.zeros(self.num_chunks, dtype=np.int64)
+        for assignment in self.assignments:
+            for begin, end in assignment.ranges:
+                coverage[begin:end] += 1
+        return coverage
+
+    def is_decodable(self) -> bool:
+        """True when every chunk meets the coverage requirement."""
+        return bool(np.all(self.chunk_coverage() >= self.coverage))
+
+    def validate(self, exact: bool = False) -> None:
+        """Raise ``ValueError`` unless the plan is decodable.
+
+        With ``exact=True`` additionally require coverage to be *exactly*
+        ``coverage`` everywhere — the no-wasted-work invariant of S2C2 plans.
+        """
+        cov = self.chunk_coverage()
+        if np.any(cov < self.coverage):
+            deficit = np.flatnonzero(cov < self.coverage)
+            raise ValueError(
+                f"{deficit.size} chunks below coverage {self.coverage}; "
+                f"first few: {deficit[:5].tolist()}"
+            )
+        if exact and np.any(cov != self.coverage):
+            excess = np.flatnonzero(cov != self.coverage)
+            raise ValueError(
+                f"{excess.size} chunks exceed exact coverage {self.coverage}"
+            )
+
+    def chunks_per_worker(self) -> np.ndarray:
+        """Return the per-worker assigned chunk counts."""
+        return np.array(
+            [assignment.num_chunks for assignment in self.assignments],
+            dtype=np.int64,
+        )
+
+    def total_chunks_assigned(self) -> int:
+        """Total chunk-computations across the cluster."""
+        return int(self.chunks_per_worker().sum())
+
+
+@runtime_checkable
+class Scheduler(Protocol):
+    """Strategy protocol: per-iteration speeds → coded work plan."""
+
+    def plan(self, speeds: np.ndarray) -> CodedWorkPlan:
+        """Build a work plan from (predicted) per-worker speeds."""
+        ...
+
+
+def full_plan(n_workers: int, num_chunks: int, coverage: int) -> CodedWorkPlan:
+    """The conventional coded-computation plan: every worker computes all.
+
+    This is what (n, k)-MDS coded computation does regardless of observed
+    speeds; it is also S2C2's robustness fallback when fewer than
+    ``coverage`` workers are predicted alive (paper §4.4).
+    """
+    assignments = tuple(
+        ChunkAssignment(worker=w, ranges=((0, num_chunks),))
+        for w in range(n_workers)
+    )
+    return CodedWorkPlan(
+        n_workers=n_workers,
+        num_chunks=num_chunks,
+        coverage=coverage,
+        assignments=assignments,
+    )

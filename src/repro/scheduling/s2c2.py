@@ -1,0 +1,245 @@
+"""S2C2 work allocation: the paper's basic (§4.1) and general (§4.2) forms.
+
+Both strategies take the conservatively-encoded (n, k) data *as stored* and
+shrink the amount of each partition actually computed so that every chunk is
+covered by **exactly** ``k`` workers — the minimum for decodability — with
+per-worker shares proportional to predicted speeds.
+
+The chunk-allocation core is the paper's Algorithm 1:
+
+1. over-decompose each partition into ``C`` chunks;
+2. the decodable total is ``k · C`` chunk-computations;
+3. walk workers in descending speed order, giving each
+   ``round(uᵢ / Σ_{j≥i} uⱼ × remaining)`` chunks capped at ``C`` (a worker
+   cannot compute more than its whole partition — the cap's spill-over goes
+   to the next workers via the running ``remaining``);
+4. lay the shares out consecutively around the ``C``-chunk circle
+   (wrap-around), which covers every chunk exactly ``k`` times because every
+   share is ≤ ``C``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import check_positive_int
+from repro.scheduling.base import ChunkAssignment, CodedWorkPlan, full_plan
+
+__all__ = [
+    "allocate_chunks",
+    "wraparound_plan",
+    "GeneralS2C2Scheduler",
+    "BasicS2C2Scheduler",
+]
+
+
+def allocate_chunks(
+    speeds: np.ndarray, coverage: int, num_chunks: int
+) -> np.ndarray:
+    """Algorithm 1's allocation step: per-worker chunk counts.
+
+    Parameters
+    ----------
+    speeds:
+        Predicted per-worker speeds; non-positive entries mark workers to
+        skip entirely (dead or full stragglers).
+    coverage:
+        Required per-chunk coverage ``k``.
+    num_chunks:
+        Chunks per partition ``C`` (each worker's cap).
+
+    Returns
+    -------
+    ``(n,)`` int array summing to ``coverage * num_chunks`` with every entry
+    in ``[0, num_chunks]``.
+
+    Raises
+    ------
+    ValueError
+        If fewer than ``coverage`` workers have positive speed — the demand
+        ``k·C`` cannot be met under the per-worker cap ``C``.  Callers fall
+        back to :func:`~repro.scheduling.base.full_plan` (paper §4.4).
+    """
+    speeds = np.asarray(speeds, dtype=np.float64)
+    if speeds.ndim != 1:
+        raise ValueError("speeds must be 1-D")
+    check_positive_int(coverage, "coverage")
+    check_positive_int(num_chunks, "num_chunks")
+    n = speeds.size
+    alive = speeds > 0
+    if int(alive.sum()) < coverage:
+        raise ValueError(
+            f"only {int(alive.sum())} workers have positive speed; "
+            f"coverage {coverage} is infeasible under the per-worker cap"
+        )
+    total = coverage * num_chunks
+    counts = np.zeros(n, dtype=np.int64)
+    # Water-fill the per-worker cap: workers whose proportional share
+    # exceeds a full partition are pinned at C and their excess re-spreads
+    # over the rest (the paper's "re-assigns these extra chunks to next
+    # worker" step, order-independently).
+    active = [int(i) for i in np.flatnonzero(alive)]
+    remaining = total
+    while True:
+        share_sum = float(speeds[active].sum())
+        capped = [
+            w for w in active if speeds[w] / share_sum * remaining >= num_chunks
+        ]
+        if not capped:
+            break
+        for w in capped:
+            counts[w] = num_chunks
+            active.remove(w)
+        remaining -= num_chunks * len(capped)
+        if not active:
+            break
+    if remaining > 0:
+        # Integerise the proportional shares: floor, then hand out the
+        # rounding shortfall one chunk at a time to whichever worker's
+        # finish time (count+1)/speed grows least.  Plain largest-remainder
+        # rounding can give the extra chunk to the *slowest* worker, whose
+        # finish time then dominates the whole iteration at coarse
+        # granularities.
+        share_sum = float(speeds[active].sum())
+        exact = speeds[active] / share_sum * remaining
+        floors = np.floor(exact).astype(np.int64)
+        counts[active] = floors
+        shortfall = remaining - int(floors.sum())
+        for _ in range(shortfall):
+            candidates = [w for w in active if counts[w] < num_chunks]
+            best = min(candidates, key=lambda w: ((counts[w] + 1) / speeds[w], w))
+            counts[best] += 1
+    if counts.sum() != total or counts.max(initial=0) > num_chunks:
+        raise AssertionError("allocation failed to converge")  # pragma: no cover
+    return counts
+
+
+def wraparound_plan(
+    counts: np.ndarray, coverage: int, num_chunks: int
+) -> CodedWorkPlan:
+    """Lay out per-worker chunk counts consecutively around the chunk circle.
+
+    Workers are traversed in descending ``counts`` order (matching the
+    allocation walk); each receives the next ``counts[w]`` chunks modulo
+    ``num_chunks``.  Because ``counts`` sums to ``coverage · num_chunks``
+    and every count is ≤ ``num_chunks``, the resulting plan covers every
+    chunk exactly ``coverage`` times.
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    n = counts.size
+    if counts.sum() != coverage * num_chunks:
+        raise ValueError(
+            f"counts sum {counts.sum()} != coverage*num_chunks "
+            f"{coverage * num_chunks}"
+        )
+    if counts.max(initial=0) > num_chunks:
+        raise ValueError("a worker count exceeds num_chunks")
+    ranges_per_worker: list[tuple[tuple[int, int], ...]] = [()] * n
+    cursor = 0
+    order = np.lexsort((np.arange(n), -counts))
+    for worker in order:
+        share = int(counts[worker])
+        if share == 0:
+            continue
+        begin = cursor % num_chunks
+        end = begin + share
+        if end <= num_chunks:
+            ranges_per_worker[worker] = ((begin, end),)
+        else:
+            ranges_per_worker[worker] = ((begin, num_chunks), (0, end - num_chunks))
+        cursor += share
+    assignments = tuple(
+        ChunkAssignment(worker=w, ranges=ranges_per_worker[w]) for w in range(n)
+    )
+    return CodedWorkPlan(
+        n_workers=n,
+        num_chunks=num_chunks,
+        coverage=coverage,
+        assignments=assignments,
+    )
+
+
+@dataclass(frozen=True)
+class GeneralS2C2Scheduler:
+    """General S2C2 (paper Algorithm 1): speed-proportional slack squeeze.
+
+    Parameters
+    ----------
+    coverage:
+        The code's recovery threshold (``k`` for MDS, ``a·b`` for
+        polynomial codes).
+    num_chunks:
+        Over-decomposition granularity ``C`` (chunks per partition).  The
+        paper sets ``C ≈ Σ uᵢ``; any value ≥ a few × ``n`` works — see the
+        chunk-granularity ablation.
+    straggler_speed_floor:
+        Speeds below this fraction of the *median* alive speed are treated
+        as zero (full stragglers get no work; the code's redundancy absorbs
+        them).  Set to 0 to always assign proportionally.
+    """
+
+    coverage: int
+    num_chunks: int = 60
+    straggler_speed_floor: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.coverage, "coverage")
+        check_positive_int(self.num_chunks, "num_chunks")
+        if self.straggler_speed_floor < 0:
+            raise ValueError("straggler_speed_floor must be >= 0")
+
+    def plan(self, speeds: np.ndarray) -> CodedWorkPlan:
+        """Build the per-iteration plan from predicted speeds.
+
+        Falls back to the conventional full plan when fewer than
+        ``coverage`` workers look alive (robustness guarantee, §4.4).
+        """
+        speeds = np.asarray(speeds, dtype=np.float64).copy()
+        if self.straggler_speed_floor > 0:
+            alive = speeds[speeds > 0]
+            if alive.size:
+                floor = self.straggler_speed_floor * float(np.median(alive))
+                speeds[speeds < floor] = 0.0
+        try:
+            counts = allocate_chunks(speeds, self.coverage, self.num_chunks)
+        except ValueError:
+            return full_plan(speeds.size, self.num_chunks, self.coverage)
+        return wraparound_plan(counts, self.coverage, self.num_chunks)
+
+
+@dataclass(frozen=True)
+class BasicS2C2Scheduler:
+    """Basic S2C2 (paper §4.1): binary fast/straggler classification.
+
+    All non-straggler workers are treated as equally fast, so each of the
+    ``s`` fast workers computes ``k·C/s`` chunks — the ``D/s`` rows of the
+    paper.  A worker is a straggler when its speed is below
+    ``straggler_threshold`` × the fastest predicted speed (the paper's
+    controlled cluster defines stragglers as ≥5× slower, i.e. a threshold
+    of 0.2 with a little margin).
+    """
+
+    coverage: int
+    num_chunks: int = 60
+    straggler_threshold: float = 0.5
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.coverage, "coverage")
+        check_positive_int(self.num_chunks, "num_chunks")
+        if not 0 < self.straggler_threshold <= 1:
+            raise ValueError("straggler_threshold must be in (0, 1]")
+
+    def plan(self, speeds: np.ndarray) -> CodedWorkPlan:
+        """Classify stragglers, then split work equally among the fast set."""
+        speeds = np.asarray(speeds, dtype=np.float64)
+        fastest = float(speeds.max(initial=0.0))
+        binary = np.where(
+            speeds >= self.straggler_threshold * fastest, 1.0, 0.0
+        )
+        try:
+            counts = allocate_chunks(binary, self.coverage, self.num_chunks)
+        except ValueError:
+            return full_plan(speeds.size, self.num_chunks, self.coverage)
+        return wraparound_plan(counts, self.coverage, self.num_chunks)

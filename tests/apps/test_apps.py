@@ -1,0 +1,227 @@
+"""Tests for the workload applications (direct and coded paths)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.apps.datasets import (
+    make_classification,
+    make_graph_laplacian,
+    make_web_graph,
+)
+from repro.apps.graph_filter import GraphFilter
+from repro.apps.hessian import HessianWorkload, NewtonLogisticRegression
+from repro.apps.logistic_regression import LogisticRegressionGD, direct_operators
+from repro.apps.pagerank import PowerIterationPageRank
+from repro.apps.svm import LinearSVMGD
+from repro.cluster.network import CostModel, NetworkModel
+from repro.cluster.speed_models import ControlledSpeeds
+from repro.coding.mds import MDSCode
+from repro.coding.polynomial import PolynomialCode
+from repro.prediction.predictor import OraclePredictor
+from repro.runtime.session import CodedSession
+from repro.scheduling.s2c2 import GeneralS2C2Scheduler
+
+NET = NetworkModel(latency=1e-6, bandwidth=1e12)
+COST = CostModel(worker_flops=1e8)
+
+
+def coded_session(n=6, k=4, seed=0):
+    return CodedSession(
+        speed_model=ControlledSpeeds(n, num_stragglers=1, seed=seed),
+        predictor=OraclePredictor(
+            speed_model=ControlledSpeeds(n, num_stragglers=1, seed=seed)
+        ),
+        network=NET,
+        cost=COST,
+    )
+
+
+class TestLogisticRegression:
+    def setup_method(self):
+        self.x, self.y = make_classification(300, 8, separation=4.0, seed=0)
+
+    def test_loss_decreases_direct(self):
+        fwd, bwd = direct_operators(self.x)
+        model = LogisticRegressionGD(fwd, bwd, self.y, lr=0.5)
+        model.run(30, n_features=8)
+        losses = model.losses
+        assert losses[-1] < losses[0] * 0.5
+
+    def test_high_accuracy_on_separable_data(self):
+        fwd, bwd = direct_operators(self.x)
+        model = LogisticRegressionGD(fwd, bwd, self.y, lr=0.5)
+        model.run(60, n_features=8)
+        assert model.accuracy(self.x, self.y) > 0.95
+
+    def test_coded_training_matches_direct(self):
+        session = coded_session()
+        session.register_matvec(
+            "A", self.x, MDSCode(6, 4), GeneralS2C2Scheduler(coverage=4, num_chunks=36)
+        )
+        session.register_matvec(
+            "At", self.x.T, MDSCode(6, 4), GeneralS2C2Scheduler(coverage=4, num_chunks=4)
+        )
+        coded = LogisticRegressionGD(
+            lambda v: session.matvec("A", v),
+            lambda v: session.matvec("At", v),
+            self.y,
+            lr=0.5,
+        )
+        direct = LogisticRegressionGD(*direct_operators(self.x), self.y, lr=0.5)
+        coded.run(10, n_features=8)
+        direct.run(10, n_features=8)
+        np.testing.assert_allclose(coded.weights, direct.weights, atol=1e-6)
+        assert len(session.metrics) == 20  # two mat-vecs per iteration
+
+    def test_label_validation(self):
+        fwd, bwd = direct_operators(self.x)
+        with pytest.raises(ValueError, match="labels"):
+            LogisticRegressionGD(fwd, bwd, np.zeros(300))
+
+    def test_step_without_weights_raises(self):
+        fwd, bwd = direct_operators(self.x)
+        model = LogisticRegressionGD(fwd, bwd, self.y)
+        with pytest.raises(RuntimeError):
+            model.step()
+
+
+class TestLinearSVM:
+    def setup_method(self):
+        self.x, self.y = make_classification(300, 8, separation=4.0, seed=1)
+
+    def test_loss_decreases(self):
+        fwd, bwd = direct_operators(self.x)
+        model = LinearSVMGD(fwd, bwd, self.y, lr=0.2)
+        model.run(40, n_features=8)
+        assert model.losses[-1] < model.losses[0]
+
+    def test_accuracy(self):
+        fwd, bwd = direct_operators(self.x)
+        model = LinearSVMGD(fwd, bwd, self.y, lr=0.2)
+        model.run(80, n_features=8)
+        assert model.accuracy(self.x, self.y) > 0.95
+
+    def test_parameter_validation(self):
+        fwd, bwd = direct_operators(self.x)
+        with pytest.raises(ValueError):
+            LinearSVMGD(fwd, bwd, self.y, lr=-0.1)
+
+
+class TestPageRank:
+    def test_matches_networkx(self):
+        matrix, graph = make_web_graph(80, seed=0)
+        pr = PowerIterationPageRank(lambda v: matrix @ v, 80, damping=0.85)
+        ranks = pr.run(max_iterations=300, tol=1e-12)
+        nx_ranks = nx.pagerank(graph, alpha=0.85, max_iter=500, tol=1e-12)
+        expected = np.array([nx_ranks[i] for i in range(80)])
+        np.testing.assert_allclose(ranks, expected, atol=1e-6)
+
+    def test_ranks_sum_to_one(self):
+        matrix, _ = make_web_graph(50, seed=1)
+        pr = PowerIterationPageRank(lambda v: matrix @ v, 50)
+        ranks = pr.run()
+        assert ranks.sum() == pytest.approx(1.0, abs=1e-6)
+
+    def test_coded_pagerank_matches_direct(self):
+        matrix, _ = make_web_graph(72, seed=2)
+        session = coded_session()
+        session.register_matvec(
+            "M", matrix, MDSCode(6, 4), GeneralS2C2Scheduler(coverage=4, num_chunks=18)
+        )
+        coded = PowerIterationPageRank(lambda v: session.matvec("M", v), 72)
+        direct = PowerIterationPageRank(lambda v: matrix @ v, 72)
+        np.testing.assert_allclose(
+            coded.run(max_iterations=40, tol=0.0),
+            direct.run(max_iterations=40, tol=0.0),
+            atol=1e-8,
+        )
+
+    def test_top_pages(self):
+        matrix, _ = make_web_graph(30, seed=3)
+        pr = PowerIterationPageRank(lambda v: matrix @ v, 30)
+        pr.run()
+        top = pr.top_pages(5)
+        assert len(top) == 5
+        assert pr.ranks[top[0]] == pr.ranks.max()
+
+    def test_damping_validated(self):
+        with pytest.raises(ValueError):
+            PowerIterationPageRank(lambda v: v, 10, damping=1.0)
+
+
+class TestGraphFilter:
+    def setup_method(self):
+        self.lap, self.graph = make_graph_laplacian(60, seed=0)
+
+    def test_filtering_smooths_signal(self):
+        rng = np.random.default_rng(0)
+        signal = rng.standard_normal(60)
+        filt = GraphFilter(lambda v: self.lap @ v, beta=0.5)
+        filtered = filt.apply(signal, hops=8)
+        assert filt.smoothness(filtered, self.lap) < filt.smoothness(
+            signal, self.lap
+        )
+
+    def test_hop_is_linear_operator(self):
+        filt = GraphFilter(lambda v: self.lap @ v, beta=0.5)
+        rng = np.random.default_rng(1)
+        a, b = rng.standard_normal((2, 60))
+        np.testing.assert_allclose(
+            filt.hop(a + 2 * b), filt.hop(a) + 2 * filt.hop(b), atol=1e-10
+        )
+
+    def test_matches_matrix_power(self):
+        filt = GraphFilter(lambda v: self.lap @ v, beta=0.4)
+        signal = np.random.default_rng(2).standard_normal(60)
+        expected = np.linalg.matrix_power(
+            np.eye(60) - 0.4 * self.lap, 3
+        ) @ signal
+        np.testing.assert_allclose(filt.apply(signal, 3), expected, atol=1e-9)
+
+    def test_beta_validated(self):
+        with pytest.raises(ValueError):
+            GraphFilter(lambda v: v, beta=0.0)
+
+
+class TestHessian:
+    def test_newton_converges_faster_than_gd(self):
+        x, y = make_classification(200, 6, separation=3.0, seed=4)
+        newton = NewtonLogisticRegression(
+            x, y, hessian_op=lambda d: x.T @ (d[:, None] * x)
+        )
+        first = newton.step()
+        for _ in range(4):
+            last = newton.step()
+        assert last < first * 0.3
+
+    def test_coded_hessian_in_newton(self):
+        x, y = make_classification(120, 5, separation=3.0, seed=5)
+        session = CodedSession(
+            speed_model=ControlledSpeeds(12, seed=6),
+            predictor=OraclePredictor(speed_model=ControlledSpeeds(12, seed=6)),
+            network=NET,
+            cost=COST,
+        )
+        session.register_bilinear(
+            "H", x.T, x, PolynomialCode(12, 3, 3),
+            GeneralS2C2Scheduler(coverage=9, num_chunks=2),
+        )
+        coded = NewtonLogisticRegression(
+            x, y, hessian_op=lambda d: session.bilinear("H", diag=d)
+        )
+        direct = NewtonLogisticRegression(
+            x, y, hessian_op=lambda d: x.T @ (d[:, None] * x)
+        )
+        coded.run(3)
+        direct.run(3)
+        np.testing.assert_allclose(coded.weights, direct.weights, atol=1e-6)
+
+    def test_hessian_workload_runs(self):
+        x, _ = make_classification(60, 4, seed=6)
+        workload = HessianWorkload(
+            hessian_op=lambda d: x.T @ (d[:, None] * x), n_samples=60
+        )
+        result = workload.run(iterations=3, seed=0)
+        assert result.shape == (4, 4)
+        np.testing.assert_allclose(result, result.T, atol=1e-9)

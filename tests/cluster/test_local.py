@@ -1,0 +1,77 @@
+"""Tests for the real-process local executor."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.local import LocalMDSExecutor
+from repro.coding.mds import MDSCode
+from repro.scheduling.s2c2 import GeneralS2C2Scheduler
+
+
+@pytest.fixture(scope="module")
+def encoded():
+    rng = np.random.default_rng(0)
+    matrix = rng.normal(size=(60, 8))
+    return MDSCode(4, 2).encode(matrix), matrix
+
+
+class TestLocalMDSExecutor:
+    def test_matvec_exact(self, encoded):
+        enc, matrix = encoded
+        executor = LocalMDSExecutor(enc, max_procs=2)
+        x = np.random.default_rng(1).normal(size=8)
+        result, report = executor.matvec(x)
+        np.testing.assert_allclose(result, matrix @ x, atol=1e-8)
+        assert report.wall_time > 0
+
+    def test_straggler_excluded_from_used_set(self, encoded):
+        enc, matrix = encoded
+        executor = LocalMDSExecutor(
+            enc, straggler_delays={0: 0.4, 1: 0.4}, max_procs=4
+        )
+        x = np.random.default_rng(2).normal(size=8)
+        result, report = executor.matvec(x)
+        np.testing.assert_allclose(result, matrix @ x, atol=1e-8)
+        # The two delayed workers should not be needed: 2 and 3 suffice.
+        assert set(report.used_workers) == {2, 3}
+
+    def test_s2c2_plan_on_real_processes(self, encoded):
+        enc, matrix = encoded
+        executor = LocalMDSExecutor(enc, num_chunks=6, max_procs=4)
+        plan = GeneralS2C2Scheduler(
+            coverage=2, num_chunks=executor.grid.num_chunks
+        ).plan(np.ones(4))
+        x = np.random.default_rng(3).normal(size=8)
+        result, _report = executor.matvec(x, plan=plan)
+        np.testing.assert_allclose(result, matrix @ x, atol=1e-8)
+
+    def test_plan_cluster_mismatch_rejected(self, encoded):
+        enc, _ = encoded
+        executor = LocalMDSExecutor(enc)
+        bad_plan = GeneralS2C2Scheduler(coverage=2, num_chunks=12).plan(np.ones(5))
+        with pytest.raises(ValueError, match="cluster"):
+            executor.matvec(np.ones(8), plan=bad_plan)
+
+    def test_undecodable_plan_raises(self, encoded):
+        enc, _ = encoded
+        executor = LocalMDSExecutor(enc)
+        # Coverage 1 < k = 2: the decoder can never finish.
+        from repro.scheduling.base import full_plan
+
+        plan = full_plan(4, executor.grid.num_chunks, 2)
+        # Empty out most assignments by building a coverage-1 plan manually.
+        from repro.scheduling.base import ChunkAssignment, CodedWorkPlan
+
+        sparse = CodedWorkPlan(
+            n_workers=4,
+            num_chunks=plan.num_chunks,
+            coverage=1,
+            assignments=(
+                ChunkAssignment(0, ((0, plan.num_chunks),)),
+                ChunkAssignment(1, ()),
+                ChunkAssignment(2, ()),
+                ChunkAssignment(3, ()),
+            ),
+        )
+        with pytest.raises(RuntimeError, match="coverage"):
+            executor.matvec(np.ones(8), plan=sparse)

@@ -1,0 +1,68 @@
+"""Tests for network and cost models."""
+
+import pytest
+
+from repro.cluster.network import CostModel, NetworkModel
+
+
+class TestNetworkModel:
+    def test_transfer_time_components(self):
+        net = NetworkModel(latency=0.01, bandwidth=100.0)
+        assert net.transfer_time(50.0) == pytest.approx(0.01 + 0.5)
+
+    def test_zero_bytes_costs_latency(self):
+        net = NetworkModel(latency=0.002)
+        assert net.transfer_time(0.0) == pytest.approx(0.002)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkModel().transfer_time(-1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NetworkModel(latency=-1.0)
+        with pytest.raises(ValueError):
+            NetworkModel(bandwidth=0.0)
+
+
+class TestCostModel:
+    def test_compute_time_scales_inversely_with_speed(self):
+        cost = CostModel()
+        slow = cost.compute_time(100, 10, 0.5)
+        fast = cost.compute_time(100, 10, 2.0)
+        assert slow == pytest.approx(4 * fast)
+
+    def test_compute_time_linear_in_rows(self):
+        cost = CostModel()
+        assert cost.compute_time(200, 10, 1.0) == pytest.approx(
+            2 * cost.compute_time(100, 10, 1.0)
+        )
+
+    def test_rows_computable_inverts_compute_time(self):
+        cost = CostModel()
+        t = cost.compute_time(123, 7, 1.3)
+        assert cost.rows_computable(t, 7, 1.3) == pytest.approx(123.0)
+
+    def test_rows_computable_zero_elapsed(self):
+        assert CostModel().rows_computable(0.0, 10, 1.0) == 0.0
+
+    def test_zero_speed_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel().compute_time(10, 10, 0.0)
+
+    def test_negative_rows_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel().compute_time(-1, 10, 1.0)
+
+    def test_decode_time_grows_with_coverage(self):
+        cost = CostModel()
+        assert cost.decode_time(100, 10, 1) > cost.decode_time(100, 2, 1)
+
+    def test_row_bytes(self):
+        assert CostModel(bytes_per_element=8.0).row_bytes(100) == 800.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CostModel(worker_flops=0.0)
+        with pytest.raises(ValueError):
+            CostModel(bytes_per_element=-8.0)

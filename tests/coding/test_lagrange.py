@@ -1,0 +1,128 @@
+"""Tests for Lagrange coded computing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coding.lagrange import LagrangeCode
+
+
+def roundtrip(code, datasets, f, width, workers, rows_per_worker=None):
+    """Encode, compute f per worker, decode with the given worker subset."""
+    enc = code.encode(datasets)
+    dec = enc.decoder(width=width)
+    all_rows = np.arange(enc.rows)
+    for w in workers:
+        rows = all_rows if rows_per_worker is None else rows_per_worker[w]
+        dec.add(w, rows, enc.compute(w, f, row_indices=rows))
+    return enc.assemble(dec.solve())
+
+
+class TestLagrangeCode:
+    def test_parameters_validated(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            LagrangeCode(n=4, k=3, degree=2)  # threshold 5 > 4
+        with pytest.raises(ValueError):
+            LagrangeCode(n=0, k=1, degree=1)
+
+    def test_coverage_formula(self):
+        code = LagrangeCode(n=8, k=3, degree=2)
+        assert code.coverage == 5
+        assert code.max_stragglers == 3
+
+    def test_points_disjoint(self):
+        code = LagrangeCode(n=6, k=2, degree=2)
+        assert not set(code.alpha).intersection(code.beta)
+
+    def test_encode_shape_checked(self):
+        code = LagrangeCode(n=6, k=2, degree=2)
+        with pytest.raises(ValueError, match="stack"):
+            code.encode(np.ones((3, 4, 5)))  # k mismatch
+
+    def test_identity_function_degree_one(self):
+        # f = identity (degree 1): LCC reduces to MDS-style recovery.
+        code = LagrangeCode(n=5, k=3, degree=1)
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=(3, 6, 4))
+        out = roundtrip(code, data, lambda z: z, width=4, workers=[0, 2, 4])
+        np.testing.assert_allclose(out, data, atol=1e-8)
+
+    def test_elementwise_square(self):
+        code = LagrangeCode(n=8, k=3, degree=2)
+        rng = np.random.default_rng(1)
+        data = rng.normal(size=(3, 5, 4))
+        f = lambda z: z * z
+        out = roundtrip(code, data, f, width=4, workers=[0, 1, 3, 5, 7])
+        np.testing.assert_allclose(out, data**2, atol=1e-7)
+
+    def test_rowwise_quadratic_form(self):
+        # f(X) = (X @ B) * (X @ C): a degree-2 row-wise polynomial map.
+        code = LagrangeCode(n=9, k=2, degree=2)
+        rng = np.random.default_rng(2)
+        data = rng.normal(size=(2, 7, 5))
+        b = rng.normal(size=(5, 3))
+        c = rng.normal(size=(5, 3))
+        f = lambda z: (z @ b) * (z @ c)
+        out = roundtrip(code, data, f, width=3, workers=[1, 2, 4, 6])
+        for j in range(2):
+            np.testing.assert_allclose(out[j], f(data[j]), atol=1e-7)
+
+    def test_cubic_elementwise(self):
+        code = LagrangeCode(n=10, k=3, degree=3)
+        rng = np.random.default_rng(3)
+        data = rng.uniform(-1, 1, size=(3, 4, 2))
+        f = lambda z: z**3 - 2.0 * z
+        workers = list(range(7))  # coverage = 3*2+1 = 7
+        out = roundtrip(code, data, f, width=2, workers=workers)
+        np.testing.assert_allclose(out, f(data), atol=1e-6)
+
+    def test_partial_row_assignments_decode(self):
+        # S2C2-style: each row covered by exactly `coverage` workers.
+        code = LagrangeCode(n=6, k=2, degree=2)  # coverage 3
+        rng = np.random.default_rng(4)
+        data = rng.normal(size=(2, 6, 3))
+        f = lambda z: z * z
+        # 6 rows; worker w computes rows {w, w+1, w+2} mod 6 -> coverage 3.
+        rows_per_worker = {
+            w: np.sort(np.array([(w + j) % 6 for j in range(3)])) for w in range(6)
+        }
+        out = roundtrip(
+            code, data, f, width=3, workers=range(6),
+            rows_per_worker=rows_per_worker,
+        )
+        np.testing.assert_allclose(out, data**2, atol=1e-7)
+
+    def test_non_rowwise_f_rejected(self):
+        code = LagrangeCode(n=5, k=2, degree=2)
+        enc = code.encode(np.ones((2, 4, 3)))
+        with pytest.raises(ValueError, match="rows"):
+            enc.compute(0, lambda z: z.sum(axis=0, keepdims=True))
+
+    def test_assemble_shape_checked(self):
+        code = LagrangeCode(n=5, k=2, degree=2)
+        enc = code.encode(np.ones((2, 4, 3)))
+        with pytest.raises(ValueError, match="coefficient"):
+            enc.assemble(np.zeros((2, 4, 3)))
+
+    @given(
+        k=st.integers(2, 4),
+        degree=st.integers(1, 3),
+        slack=st.integers(0, 2),
+        rows=st.integers(1, 8),
+        cols=st.integers(1, 4),
+        seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_elementwise_polynomial(
+        self, k, degree, slack, rows, cols, seed
+    ):
+        n = degree * (k - 1) + 1 + slack
+        code = LagrangeCode(n=n, k=k, degree=degree)
+        rng = np.random.default_rng(seed)
+        data = rng.uniform(-1, 1, size=(k, rows, cols))
+        coeffs = rng.uniform(-1, 1, size=degree + 1)
+        f = lambda z: sum(c * z**p for p, c in enumerate(coeffs))
+        workers = rng.choice(n, size=code.coverage, replace=False)
+        out = roundtrip(code, data, f, width=cols, workers=workers)
+        np.testing.assert_allclose(out, f(data), atol=1e-5)

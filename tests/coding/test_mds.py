@@ -1,0 +1,144 @@
+"""Tests for MDS coded matrix computation (encode → compute → decode)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coding.mds import MDSCode
+
+
+def roundtrip_matvec(code, matrix, x, workers, rows_per_worker=None):
+    """Encode, compute per-worker, decode with the given worker subset."""
+    enc = code.encode(matrix)
+    dec = enc.decoder()
+    all_rows = np.arange(enc.block_rows)
+    for w in workers:
+        rows = all_rows if rows_per_worker is None else rows_per_worker[w]
+        dec.add(w, rows, enc.compute(w, rows, x))
+    return enc.assemble(dec.solve())
+
+
+class TestMDSCode:
+    def test_parameters_validated(self):
+        with pytest.raises(ValueError):
+            MDSCode(3, 4)
+        with pytest.raises(ValueError):
+            MDSCode(0, 0)
+        with pytest.raises(ValueError, match="generator"):
+            MDSCode(4, 2, generator="fountain")
+
+    def test_redundancy_and_tolerance(self):
+        code = MDSCode(12, 10)
+        assert code.max_stragglers == 2
+        assert code.redundancy == pytest.approx(1.2)
+
+    def test_encode_shapes(self):
+        code = MDSCode(4, 2)
+        enc = code.encode(np.ones((10, 3)))
+        assert enc.partitions.shape == (4, 5, 3)
+        assert enc.block_rows == 5
+        assert enc.width == 3
+
+    def test_storage_fraction(self):
+        code = MDSCode(12, 10)
+        enc = code.encode(np.ones((1000, 2)))
+        assert enc.storage_fraction_per_node() == pytest.approx(0.1)
+
+    def test_encode_requires_2d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            MDSCode(4, 2).encode(np.ones(10))
+
+    def test_paper_example_sum_code(self):
+        # Paper §2: A1, A2, A1+A2 on 3 workers; any 2 decode.
+        code = MDSCode(3, 2, generator="vandermonde-integer")
+        a = np.arange(12.0).reshape(4, 3)
+        x = np.array([1.0, -1.0, 2.0])
+        for workers in ([0, 1], [0, 2], [1, 2]):
+            np.testing.assert_allclose(
+                roundtrip_matvec(code, a, x, workers), a @ x, atol=1e-9
+            )
+
+    @pytest.mark.parametrize(
+        "generator",
+        ["systematic-gaussian", "vandermonde-chebyshev", "random-gaussian"],
+    )
+    def test_matvec_any_k_of_n(self, generator):
+        code = MDSCode(6, 4, generator=generator)
+        rng = np.random.default_rng(11)
+        a = rng.normal(size=(21, 5))
+        x = rng.normal(size=5)
+        for workers in ([0, 1, 2, 3], [2, 3, 4, 5], [0, 2, 4, 5]):
+            np.testing.assert_allclose(
+                roundtrip_matvec(code, a, x, workers), a @ x, atol=1e-8
+            )
+
+    def test_matmat_decode(self):
+        code = MDSCode(5, 3)
+        rng = np.random.default_rng(5)
+        a = rng.normal(size=(9, 4))
+        x = rng.normal(size=(4, 6))
+        enc = code.encode(a)
+        dec = enc.decoder(width=6)
+        rows = np.arange(enc.block_rows)
+        for w in [1, 3, 4]:
+            dec.add(w, rows, enc.compute(w, rows, x))
+        np.testing.assert_allclose(enc.assemble(dec.solve()), a @ x, atol=1e-8)
+
+    def test_partial_row_assignments_decode(self):
+        # S2C2-style: (4,2) code, each worker computes 2/3 of its partition
+        # such that every row is covered exactly twice (paper Fig 4c).
+        code = MDSCode(4, 2)
+        rng = np.random.default_rng(2)
+        a = rng.normal(size=(12, 3))
+        x = rng.normal(size=3)
+        enc = code.encode(a)  # block_rows == 6
+        thirds = [np.arange(0, 2), np.arange(2, 4), np.arange(4, 6)]
+        rows_per_worker = {
+            0: np.concatenate([thirds[0], thirds[1]]),
+            1: np.concatenate([thirds[0], thirds[2]]),
+            2: np.concatenate([thirds[1], thirds[2]]),
+        }
+        dec = enc.decoder()
+        for w, rows in rows_per_worker.items():
+            dec.add(w, rows, enc.compute(w, rows, x))
+        np.testing.assert_allclose(enc.assemble(dec.solve()), a @ x, atol=1e-9)
+
+    def test_large_code_numerically_stable(self):
+        # The Fig-13 scale: (50, 40). Decode error must stay tiny.
+        code = MDSCode(50, 40)
+        rng = np.random.default_rng(13)
+        a = rng.normal(size=(200, 4))
+        x = rng.normal(size=4)
+        workers = rng.choice(50, size=40, replace=False)
+        result = roundtrip_matvec(code, a, x, workers)
+        np.testing.assert_allclose(result, a @ x, atol=1e-6)
+
+    def test_compute_worker_out_of_range(self):
+        enc = MDSCode(4, 2).encode(np.ones((8, 2)))
+        with pytest.raises(IndexError):
+            enc.compute(4, np.array([0]), np.ones(2))
+
+    def test_decoder_width_default_is_one(self):
+        enc = MDSCode(4, 2).encode(np.ones((8, 2)))
+        assert enc.decoder().width == 1
+
+    @given(
+        n=st.integers(2, 10),
+        slack=st.integers(0, 4),
+        rows=st.integers(2, 40),
+        cols=st.integers(1, 5),
+        seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_roundtrip_random(self, n, slack, rows, cols, seed):
+        k = max(1, n - slack)
+        rows = max(rows, k)
+        code = MDSCode(n, k)
+        rng = np.random.default_rng(seed)
+        a = rng.normal(size=(rows, cols))
+        x = rng.normal(size=cols)
+        workers = rng.choice(n, size=k, replace=False)
+        np.testing.assert_allclose(
+            roundtrip_matvec(code, a, x, workers), a @ x, atol=1e-6
+        )

@@ -1,0 +1,62 @@
+"""Smoke + shape tests for the per-figure experiment modules.
+
+The benchmarks assert the full shapes; these tests cover the experiment
+*registry* and the cheapest per-module invariants so `pytest tests/` alone
+exercises every experiment code path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import ALL_EXPERIMENTS
+from repro.experiments.fig03_storage import uncoded_storage_curve
+from repro.cluster.speed_models import TraceSpeeds
+from repro.prediction.traces import VOLATILE, generate_speed_traces
+
+
+class TestRegistry:
+    def test_every_figure_present(self):
+        expected = {
+            "fig01", "fig02", "fig03", "fig06", "fig07", "fig08",
+            "fig09", "fig10", "fig11", "fig12", "fig13", "sec61",
+        }
+        assert set(ALL_EXPERIMENTS) == expected
+
+    def test_all_runners_callable(self):
+        for runner in ALL_EXPERIMENTS.values():
+            assert callable(runner)
+
+
+@pytest.mark.parametrize("name", ["fig01", "fig02", "fig03"])
+def test_cheap_experiments_produce_tables(name):
+    result = ALL_EXPERIMENTS[name](quick=True)
+    assert result.name == name
+    assert len(result.rows) >= 2
+    table = result.format_table()
+    assert name in table
+
+
+class TestStorageCurve:
+    def test_monotone_nondecreasing(self):
+        traces = generate_speed_traces(6, 40, VOLATILE, seed=0)
+        curve = uncoded_storage_curve(TraceSpeeds(traces), 600, 40)
+        assert np.all(np.diff(curve) >= -1e-12)
+
+    def test_bounded_by_one(self):
+        traces = generate_speed_traces(6, 40, VOLATILE, seed=1)
+        curve = uncoded_storage_curve(TraceSpeeds(traces), 600, 40)
+        assert curve[-1] <= 1.0
+
+    def test_locality_variant_needs_less_storage(self):
+        traces = generate_speed_traces(8, 60, VOLATILE, seed=2)
+        model = TraceSpeeds(traces)
+        optimal = uncoded_storage_curve(TraceSpeeds(traces), 800, 60, locality=False)
+        friendly = uncoded_storage_curve(TraceSpeeds(traces), 800, 60, locality=True)
+        del model
+        assert friendly[-1] <= optimal[-1]
+
+    def test_first_iteration_is_one_over_n(self):
+        traces = generate_speed_traces(10, 5, VOLATILE, seed=3)
+        curve = uncoded_storage_curve(TraceSpeeds(traces), 1000, 5)
+        # After one iteration every node holds exactly its assigned span.
+        assert curve[0] == pytest.approx(1.0 / 10, abs=0.02)

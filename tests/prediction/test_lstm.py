@@ -1,0 +1,85 @@
+"""Tests for the NumPy LSTM speed model."""
+
+import numpy as np
+import pytest
+
+from repro.prediction.lstm import LSTMSpeedModel, mape
+from repro.prediction.traces import STABLE, generate_speed_traces
+
+
+class TestMape:
+    def test_zero_error(self):
+        assert mape(np.ones(5), np.ones(5)) == 0.0
+
+    def test_known_value(self):
+        assert mape(np.array([1.1]), np.array([1.0])) == pytest.approx(0.1)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mape(np.ones(3), np.ones(4))
+
+    def test_nonpositive_actual_rejected(self):
+        with pytest.raises(ValueError):
+            mape(np.ones(2), np.array([1.0, 0.0]))
+
+
+class TestLSTMSpeedModel:
+    def test_forward_shapes(self):
+        model = LSTMSpeedModel(hidden=4, seed=0)
+        preds = model.predict_series(np.random.default_rng(0).uniform(0.5, 1, (3, 10)))
+        assert preds.shape == (3, 10)
+
+    def test_training_reduces_loss(self):
+        traces = generate_speed_traces(20, 200, STABLE, seed=0)
+        model = LSTMSpeedModel(hidden=4, seed=0)
+        losses = model.fit(traces, epochs=80, window=30, batch_size=32)
+        assert np.mean(losses[-10:]) < np.mean(losses[:10]) * 0.5
+
+    def test_trained_model_beats_untrained(self):
+        traces = generate_speed_traces(30, 300, STABLE, seed=1)
+        train, test = traces[:24], traces[24:]
+        trained = LSTMSpeedModel(hidden=4, seed=0)
+        trained.fit(train, epochs=150, window=40)
+        untrained = LSTMSpeedModel(hidden=4, seed=0)
+        assert trained.evaluate_mape(test) < untrained.evaluate_mape(test)
+
+    def test_trained_mape_reasonable_on_stable_traces(self):
+        traces = generate_speed_traces(30, 300, STABLE, seed=2)
+        model = LSTMSpeedModel(hidden=4, seed=0)
+        model.fit(traces[:24], epochs=200, window=40)
+        assert model.evaluate_mape(traces[24:]) < 0.15
+
+    def test_online_step_matches_batch_forward(self):
+        traces = generate_speed_traces(3, 20, STABLE, seed=3)
+        model = LSTMSpeedModel(hidden=4, seed=1)
+        batch_preds = model.predict_series(traces)
+        state = model.initial_state(3)
+        online = np.stack(
+            [model.step(state, traces[:, t]) for t in range(20)], axis=1
+        )
+        np.testing.assert_allclose(online, batch_preds, atol=1e-12)
+
+    def test_step_shape_validation(self):
+        model = LSTMSpeedModel(hidden=4)
+        state = model.initial_state(3)
+        with pytest.raises(ValueError):
+            model.step(state, np.ones(4))
+
+    def test_fit_validates_input(self):
+        model = LSTMSpeedModel()
+        with pytest.raises(ValueError, match="2-D"):
+            model.fit(np.ones(10))
+        with pytest.raises(ValueError, match="short"):
+            model.fit(np.ones((2, 1)))
+
+    def test_hidden_dim_validated(self):
+        with pytest.raises(ValueError):
+            LSTMSpeedModel(hidden=0)
+
+    def test_deterministic_given_seed(self):
+        traces = generate_speed_traces(5, 60, STABLE, seed=4)
+        a = LSTMSpeedModel(seed=9)
+        b = LSTMSpeedModel(seed=9)
+        a.fit(traces, epochs=5)
+        b.fit(traces, epochs=5)
+        np.testing.assert_array_equal(a._params["W"], b._params["W"])

@@ -1,0 +1,171 @@
+"""Tests for the online predictor wrappers."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.speed_models import ConstantSpeeds, TraceSpeeds
+from repro.prediction.arima import ARModel
+from repro.prediction.lstm import LSTMSpeedModel
+from repro.prediction.predictor import (
+    ARPredictor,
+    LastValuePredictor,
+    LSTMPredictor,
+    OnlinePredictor,
+    OraclePredictor,
+    StalePredictor,
+    misprediction_rate,
+)
+from repro.prediction.traces import STABLE, generate_speed_traces
+
+
+class TestMispredictionRate:
+    def test_zero_when_exact(self):
+        assert misprediction_rate(np.ones(5), np.ones(5)) == 0.0
+
+    def test_counts_beyond_tolerance(self):
+        pred = np.array([1.0, 1.0, 1.0, 1.0])
+        actual = np.array([1.0, 1.1, 1.3, 0.5])
+        assert misprediction_rate(pred, actual, tolerance=0.15) == pytest.approx(0.5)
+
+    def test_empty(self):
+        assert misprediction_rate(np.empty(0), np.empty(0)) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            misprediction_rate(np.ones(2), np.ones(3))
+
+
+class TestLastValuePredictor:
+    def test_initial_prediction(self):
+        pred = LastValuePredictor(3, initial=2.0)
+        np.testing.assert_array_equal(pred.predict(), [2.0, 2.0, 2.0])
+
+    def test_tracks_observations(self):
+        pred = LastValuePredictor(2)
+        pred.update(np.array([0.5, 1.5]))
+        np.testing.assert_array_equal(pred.predict(), [0.5, 1.5])
+
+    def test_nan_carries_forward(self):
+        pred = LastValuePredictor(2)
+        pred.update(np.array([0.5, 1.5]))
+        pred.update(np.array([np.nan, 2.0]))
+        np.testing.assert_array_equal(pred.predict(), [0.5, 2.0])
+
+    def test_shape_validated(self):
+        with pytest.raises(ValueError):
+            LastValuePredictor(2).update(np.ones(3))
+
+    def test_protocol(self):
+        assert isinstance(LastValuePredictor(2), OnlinePredictor)
+
+
+class TestOraclePredictor:
+    def test_predicts_next_iteration_exactly(self):
+        traces = np.array([[1.0, 2.0, 3.0], [4.0, 5.0, 6.0]])
+        oracle = OraclePredictor(TraceSpeeds(traces))
+        np.testing.assert_array_equal(oracle.predict(), [1.0, 4.0])
+        oracle.update(np.array([1.0, 4.0]))
+        np.testing.assert_array_equal(oracle.predict(), [2.0, 5.0])
+
+    def test_protocol(self):
+        assert isinstance(OraclePredictor(ConstantSpeeds(np.ones(2))), OnlinePredictor)
+
+
+class TestStalePredictor:
+    def test_zero_miss_rate_is_oracle(self):
+        traces = np.array([[1.0, 2.0, 3.0]])
+        stale = StalePredictor(TraceSpeeds(traces), miss_rate=0.0)
+        oracle = OraclePredictor(TraceSpeeds(traces))
+        for _ in range(3):
+            np.testing.assert_array_equal(stale.predict(), oracle.predict())
+            stale.update(stale.predict())
+            oracle.update(oracle.predict())
+
+    def test_full_miss_rate_is_last_value(self):
+        traces = np.array([[1.0, 2.0, 3.0]])
+        stale = StalePredictor(TraceSpeeds(traces), miss_rate=1.0, seed=0)
+        stale.update(np.array([1.0]))
+        np.testing.assert_array_equal(stale.predict(), [1.0])
+
+    def test_miss_rate_statistics(self):
+        model = TraceSpeeds(generate_speed_traces(50, 100, STABLE, seed=0))
+        stale = StalePredictor(model, miss_rate=0.3, seed=1)
+        stale.update(model.speeds(0))
+        misses = 0
+        total = 0
+        for it in range(1, 50):
+            pred = stale.predict()
+            truth = model.speeds(it)
+            misses += int(np.sum(pred != truth))
+            total += truth.size
+            stale.update(truth)
+        assert 0.2 < misses / total < 0.4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StalePredictor(ConstantSpeeds(np.ones(2)), miss_rate=1.5)
+
+
+class TestARPredictor:
+    def make(self, n=4):
+        traces = generate_speed_traces(20, 200, STABLE, seed=0)
+        model = ARModel(p=1).fit(traces)
+        return ARPredictor(model, n)
+
+    def test_requires_fitted_model(self):
+        with pytest.raises(ValueError, match="fitted"):
+            ARPredictor(ARModel(), 3)
+
+    def test_initial_prediction(self):
+        pred = self.make()
+        assert pred.predict().shape == (4,)
+
+    def test_prediction_positive(self):
+        pred = self.make()
+        pred.update(np.full(4, 0.8))
+        assert np.all(pred.predict() > 0)
+
+    def test_tracks_level(self):
+        pred = self.make()
+        for _ in range(5):
+            pred.update(np.full(4, 0.6))
+        np.testing.assert_allclose(pred.predict(), 0.6, atol=0.15)
+
+    def test_nan_handling(self):
+        pred = self.make(2)
+        pred.update(np.array([0.9, np.nan]))
+        assert np.all(np.isfinite(pred.predict()))
+
+
+class TestLSTMPredictor:
+    def make(self, n=3):
+        traces = generate_speed_traces(16, 120, STABLE, seed=0)
+        model = LSTMSpeedModel(hidden=4, seed=0)
+        model.fit(traces, epochs=40, window=30)
+        return LSTMPredictor(model, n)
+
+    def test_initial_prediction(self):
+        pred = self.make()
+        np.testing.assert_array_equal(pred.predict(), [1.0, 1.0, 1.0])
+
+    def test_updates_change_prediction(self):
+        pred = self.make()
+        before = pred.predict()
+        pred.update(np.array([0.5, 0.8, 1.0]))
+        after = pred.predict()
+        assert not np.array_equal(before, after)
+
+    def test_prediction_positive(self):
+        pred = self.make()
+        for _ in range(10):
+            pred.update(np.array([0.1, 0.5, 1.0]))
+        assert np.all(pred.predict() > 0)
+
+    def test_nan_handling(self):
+        pred = self.make(2)
+        pred.update(np.array([0.9, np.nan]))
+        assert np.all(np.isfinite(pred.predict()))
+
+    def test_shape_validated(self):
+        with pytest.raises(ValueError):
+            self.make(2).update(np.ones(5))

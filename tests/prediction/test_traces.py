@@ -1,0 +1,102 @@
+"""Tests for the regime-switching speed-trace generator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.prediction.traces import (
+    STABLE,
+    VOLATILE,
+    TraceConfig,
+    generate_speed_traces,
+    regime_lengths,
+)
+
+
+class TestTraceConfig:
+    def test_presets_valid(self):
+        assert STABLE.switch_prob < VOLATILE.switch_prob
+        assert STABLE.level_low > VOLATILE.level_low
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TraceConfig(switch_prob=1.5)
+        with pytest.raises(ValueError):
+            TraceConfig(level_low=0.9, level_high=0.5)
+        with pytest.raises(ValueError):
+            TraceConfig(dip_depth=0.0)
+        with pytest.raises(ValueError):
+            TraceConfig(noise=-0.1)
+        with pytest.raises(ValueError):
+            TraceConfig(floor=0.9, level_low=0.5)
+
+
+class TestGenerateSpeedTraces:
+    def test_shape_and_range(self):
+        traces = generate_speed_traces(10, 200, STABLE, seed=0)
+        assert traces.shape == (10, 200)
+        assert np.all(traces > 0)
+        assert np.all(traces <= 1.0)
+
+    def test_deterministic_given_seed(self):
+        a = generate_speed_traces(4, 50, VOLATILE, seed=7)
+        b = generate_speed_traces(4, 50, VOLATILE, seed=7)
+        np.testing.assert_array_equal(a, b)
+
+    def test_seeds_differ(self):
+        a = generate_speed_traces(4, 50, VOLATILE, seed=1)
+        b = generate_speed_traces(4, 50, VOLATILE, seed=2)
+        assert not np.array_equal(a, b)
+
+    def test_stable_traces_have_long_regimes(self):
+        # The paper's observation: speed stays within ~10% for >= ~10 samples.
+        traces = generate_speed_traces(20, 500, STABLE, seed=0)
+        mean_lengths = [regime_lengths(t).mean() for t in traces]
+        assert np.median(mean_lengths) >= 10
+
+    def test_volatile_traces_switch_more(self):
+        stable = generate_speed_traces(20, 500, STABLE, seed=0)
+        volatile = generate_speed_traces(20, 500, VOLATILE, seed=0)
+        stable_n = np.median([regime_lengths(t).size for t in stable])
+        volatile_n = np.median([regime_lengths(t).size for t in volatile])
+        assert volatile_n > 2 * stable_n
+
+    def test_volatile_reaches_deep_lows(self):
+        volatile = generate_speed_traces(20, 500, VOLATILE, seed=0)
+        assert volatile.min() < 0.3
+
+    def test_stable_stays_high(self):
+        stable = generate_speed_traces(20, 500, STABLE, seed=0)
+        assert np.quantile(stable, 0.05) > 0.5
+
+    @given(
+        n=st.integers(1, 10),
+        length=st.integers(1, 100),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_bounds(self, n, length, seed):
+        traces = generate_speed_traces(n, length, VOLATILE, seed=seed)
+        assert traces.shape == (n, length)
+        assert np.all(traces >= VOLATILE.floor)
+        assert np.all(traces <= 1.0)
+
+
+class TestRegimeLengths:
+    def test_constant_trace_single_regime(self):
+        lengths = regime_lengths(np.ones(50))
+        np.testing.assert_array_equal(lengths, [50])
+
+    def test_step_change_detected(self):
+        trace = np.concatenate([np.ones(20), np.full(30, 0.5)])
+        lengths = regime_lengths(trace)
+        np.testing.assert_array_equal(lengths, [20, 30])
+
+    def test_lengths_sum_to_trace_length(self):
+        trace = generate_speed_traces(1, 300, VOLATILE, seed=3)[0]
+        assert regime_lengths(trace).sum() == 300
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            regime_lengths(np.empty(0))

@@ -1,0 +1,111 @@
+"""Tests for run metrics and storage tracking."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.metrics import IterationRecord, RunMetrics, StorageTracker
+
+
+def make_record(it=0, latency=1.0, computed=(10.0, 10.0), used=(10.0, 5.0),
+                predicted=(1.0, 1.0), actual=(1.0, 1.0), **kwargs):
+    return IterationRecord(
+        iteration=it,
+        operator="A",
+        latency=latency,
+        decode_time=0.1,
+        broadcast_time=0.01,
+        computed_rows=np.array(computed, dtype=float),
+        used_rows=np.array(used, dtype=float),
+        predicted_speeds=np.array(predicted, dtype=float),
+        actual_speeds=np.array(actual, dtype=float),
+        **kwargs,
+    )
+
+
+class TestIterationRecord:
+    def test_wasted_rows(self):
+        rec = make_record(computed=(10.0, 10.0), used=(10.0, 4.0))
+        np.testing.assert_array_equal(rec.wasted_rows, [0.0, 6.0])
+
+    def test_wasted_never_negative(self):
+        rec = make_record(computed=(3.0,), used=(5.0,), predicted=(1.0,), actual=(1.0,))
+        np.testing.assert_array_equal(rec.wasted_rows, [0.0])
+
+
+class TestRunMetrics:
+    def test_empty_raises(self):
+        with pytest.raises(RuntimeError, match="no iterations"):
+            _ = RunMetrics().total_time
+
+    def test_totals(self):
+        metrics = RunMetrics()
+        metrics.add(make_record(latency=2.0))
+        metrics.add(make_record(it=1, latency=3.0))
+        assert metrics.total_time == pytest.approx(5.0)
+        assert metrics.mean_latency == pytest.approx(2.5)
+        assert len(metrics) == 2
+
+    def test_wasted_fraction_per_worker(self):
+        metrics = RunMetrics()
+        metrics.add(make_record(computed=(10.0, 10.0), used=(10.0, 5.0)))
+        metrics.add(make_record(it=1, computed=(10.0, 10.0), used=(10.0, 5.0)))
+        np.testing.assert_allclose(
+            metrics.wasted_fraction_per_worker(), [0.0, 0.5]
+        )
+
+    def test_wasted_fraction_handles_idle_worker(self):
+        metrics = RunMetrics()
+        metrics.add(make_record(computed=(0.0, 10.0), used=(0.0, 10.0)))
+        np.testing.assert_allclose(metrics.wasted_fraction_per_worker(), [0.0, 0.0])
+
+    def test_total_wasted_fraction(self):
+        metrics = RunMetrics()
+        metrics.add(make_record(computed=(10.0, 10.0), used=(10.0, 0.0)))
+        assert metrics.total_wasted_fraction() == pytest.approx(0.5)
+
+    def test_misprediction_rate(self):
+        metrics = RunMetrics()
+        metrics.add(make_record(predicted=(1.0, 1.0), actual=(1.0, 2.0)))
+        assert metrics.misprediction_rate() == pytest.approx(0.5)
+
+    def test_repair_count(self):
+        metrics = RunMetrics()
+        metrics.add(make_record())
+        metrics.add(make_record(it=1, repaired=True))
+        assert metrics.repair_count == 1
+
+    def test_data_moved(self):
+        metrics = RunMetrics()
+        metrics.add(make_record(data_moved_bytes=100.0))
+        metrics.add(make_record(it=1, data_moved_bytes=50.0))
+        assert metrics.total_data_moved_bytes == pytest.approx(150.0)
+
+
+class TestStorageTracker:
+    def test_initial_zero(self):
+        tracker = StorageTracker(4, 100)
+        assert tracker.mean_fraction() == 0.0
+
+    def test_union_growth(self):
+        tracker = StorageTracker(2, 10)
+        tracker.record_iteration({0: np.arange(5), 1: np.arange(5, 10)})
+        assert tracker.mean_fraction() == pytest.approx(0.5)
+        # Re-assigning the same rows does not grow storage.
+        tracker.record_iteration({0: np.arange(5), 1: np.arange(5, 10)})
+        assert tracker.mean_fraction() == pytest.approx(0.5)
+        # Shifted assignment grows the union.
+        tracker.record_iteration({0: np.arange(3, 8)})
+        assert tracker.fractions()[0] == pytest.approx(0.8)
+
+    def test_history(self):
+        tracker = StorageTracker(1, 10)
+        tracker.record_iteration({0: np.arange(2)})
+        tracker.record_iteration({0: np.arange(4)})
+        np.testing.assert_allclose(tracker.history(), [0.2, 0.4])
+
+    def test_bounds_checked(self):
+        tracker = StorageTracker(2, 10)
+        with pytest.raises(IndexError):
+            tracker.record_iteration({2: np.arange(3)})
+        with pytest.raises(IndexError):
+            tracker.record_iteration({0: np.array([10])})

@@ -1,0 +1,103 @@
+"""Tests for the coded work-plan data model."""
+
+import numpy as np
+import pytest
+
+from repro.scheduling.base import ChunkAssignment, CodedWorkPlan, full_plan
+
+
+class TestChunkAssignment:
+    def test_num_chunks(self):
+        a = ChunkAssignment(0, ((0, 3), (5, 9)))
+        assert a.num_chunks == 7
+
+    def test_chunk_indices_sorted(self):
+        a = ChunkAssignment(0, ((5, 7), (0, 2)))
+        np.testing.assert_array_equal(a.chunk_indices(), [0, 1, 5, 6])
+
+    def test_empty(self):
+        a = ChunkAssignment(3, ())
+        assert a.is_empty()
+        assert a.num_chunks == 0
+        assert a.chunk_indices().size == 0
+
+    def test_negative_worker_rejected(self):
+        with pytest.raises(ValueError):
+            ChunkAssignment(-1, ())
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(ValueError, match="invalid"):
+            ChunkAssignment(0, ((3, 2),))
+
+    def test_overlap_rejected(self):
+        with pytest.raises(ValueError, match="overlap"):
+            ChunkAssignment(0, ((0, 4), (3, 6)))
+
+    def test_adjacent_ranges_allowed(self):
+        a = ChunkAssignment(0, ((0, 3), (3, 6)))
+        assert a.num_chunks == 6
+
+
+class TestCodedWorkPlan:
+    def make_plan(self, ranges_list, num_chunks=6, coverage=2):
+        assignments = tuple(
+            ChunkAssignment(w, r) for w, r in enumerate(ranges_list)
+        )
+        return CodedWorkPlan(
+            n_workers=len(ranges_list),
+            num_chunks=num_chunks,
+            coverage=coverage,
+            assignments=assignments,
+        )
+
+    def test_chunk_coverage(self):
+        plan = self.make_plan([((0, 4),), ((2, 6),), ((0, 2), (4, 6))])
+        np.testing.assert_array_equal(plan.chunk_coverage(), [2, 2, 2, 2, 2, 2])
+        assert plan.is_decodable()
+        plan.validate(exact=True)
+
+    def test_validate_detects_deficit(self):
+        plan = self.make_plan([((0, 4),), ((0, 4),), ()])
+        with pytest.raises(ValueError, match="below coverage"):
+            plan.validate()
+
+    def test_validate_exact_detects_excess(self):
+        plan = self.make_plan([((0, 6),), ((0, 6),), ((0, 6),)])
+        plan.validate()  # >= coverage is fine
+        with pytest.raises(ValueError, match="exceed"):
+            plan.validate(exact=True)
+
+    def test_assignment_order_enforced(self):
+        assignments = (
+            ChunkAssignment(1, ((0, 6),)),
+            ChunkAssignment(0, ((0, 6),)),
+        )
+        with pytest.raises(ValueError, match="worker order"):
+            CodedWorkPlan(2, 6, 1, assignments)
+
+    def test_range_beyond_num_chunks_rejected(self):
+        with pytest.raises(ValueError, match="num_chunks"):
+            self.make_plan([((0, 7),), ((0, 6),), ((0, 6),)])
+
+    def test_coverage_exceeding_workers_rejected(self):
+        with pytest.raises(ValueError, match="coverage"):
+            self.make_plan([((0, 6),)], coverage=2)
+
+    def test_counters(self):
+        plan = self.make_plan([((0, 4),), ((2, 6),), ((0, 2), (4, 6))])
+        np.testing.assert_array_equal(plan.chunks_per_worker(), [4, 4, 4])
+        assert plan.total_chunks_assigned() == 12
+
+
+class TestFullPlan:
+    def test_everyone_gets_everything(self):
+        plan = full_plan(4, 10, 2)
+        np.testing.assert_array_equal(plan.chunk_coverage(), np.full(10, 4))
+        plan.validate()
+        assert plan.total_chunks_assigned() == 40
+
+    def test_full_plan_is_the_static_mds_shape(self):
+        # n workers, coverage k: conventional MDS over-provisions by n/k.
+        plan = full_plan(12, 60, 10)
+        assert plan.total_chunks_assigned() == 12 * 60
+        assert plan.coverage == 10

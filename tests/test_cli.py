@@ -1,0 +1,31 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_version(self, capsys):
+        assert main(["version"]) == 0
+        assert "1." in capsys.readouterr().out
+
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig01", "fig13", "sec61"):
+            assert name in out
+
+    def test_unknown_experiment_rejected(self, capsys):
+        assert main(["experiments", "fig99", "--quick"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_run_single_quick_experiment(self, capsys):
+        assert main(["experiments", "fig02", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "fig02" in out
+        assert "regime" in out
+
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 1
+        assert "experiments" in capsys.readouterr().out
