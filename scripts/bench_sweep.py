@@ -1,0 +1,178 @@
+"""Benchmark: seed-style serial experiment loop vs the sweep engine.
+
+Usage:  python scripts/bench_sweep.py [--trials N] [--jobs N] [--quick/--full]
+
+Measures one representative controlled-cluster figure (Fig 6: 5 strategies
+× 4 straggler counts) and one large-cluster figure (Fig 13: 50 workers)
+under three regimes:
+
+* **serial sessions** — the seed repository's path: one full
+  :class:`CodedSession` per (cell, trial), complete with encode / numeric
+  compute / decode, strategies and trials looped in Python;
+* **sweep + batched engine** — the same cells through
+  ``SweepSpec``/``SweepRunner`` with the batched latency simulators
+  (``--jobs`` controls the process pool; on a single-core machine the win
+  comes from batching alone);
+* **sweep, warm cache** — a re-run against the on-disk result cache.
+
+The per-trial numbers of the two compute paths are identical (the batch
+engine is bitwise-equivalent by construction — see
+``tests/runtime/test_batch.py``), so the comparison is pure overhead.
+"""
+
+from __future__ import annotations
+
+import argparse
+import tempfile
+import time
+
+import numpy as np
+
+
+def bench_serial_sessions(quick: bool, trials: int) -> float:
+    """The seed-style path: sessions with full numerics, looped."""
+    from repro.apps.datasets import make_classification
+    from repro.cluster.speed_models import ControlledSpeeds
+    from repro.coding.mds import MDSCode
+    from repro.experiments.fig06_lr import (
+        N_WORKERS,
+        STRATEGIES,
+        _coded_scheduler,
+    )
+    from repro.experiments.harness import (
+        run_coded_lr_like,
+        run_replicated_lr_like,
+    )
+    from repro.experiments.sweep import SEED_STRIDE
+    from repro.prediction.predictor import LastValuePredictor, OraclePredictor
+    from repro.scheduling.timeout import TimeoutPolicy
+
+    rows, cols = (480, 120) if quick else (2400, 600)
+    iterations = 4 if quick else 15
+    counts = (0, 1, 2, 3)
+    matrix, _ = make_classification(rows, cols, seed=0)
+
+    def speeds(s, seed):
+        return ControlledSpeeds(
+            N_WORKERS, num_stragglers=s, slowdown=5.0, jitter=0.2, seed=seed
+        )
+
+    start = time.perf_counter()
+    raw = {}
+    for s in counts:
+        for strategy in STRATEGIES:
+            per_trial = []
+            for t in range(trials):
+                seed = SEED_STRIDE * t
+                if strategy == "uncoded-3rep":
+                    session = run_replicated_lr_like(
+                        matrix, speeds(s, seed), LastValuePredictor(N_WORKERS),
+                        iterations=iterations,
+                    )
+                else:
+                    scheduler, k = _coded_scheduler(strategy)
+                    session = run_coded_lr_like(
+                        matrix,
+                        lambda k=k: MDSCode(N_WORKERS, k),
+                        scheduler,
+                        speeds(s, seed),
+                        OraclePredictor(speed_model=speeds(s, seed)),
+                        iterations=iterations,
+                        timeout=TimeoutPolicy(),
+                    )
+                per_trial.append(session.metrics.total_time)
+            raw[(strategy, s)] = np.mean(per_trial)
+    return time.perf_counter() - start
+
+
+def bench_sweep(quick: bool, trials: int, jobs: int, cache_dir) -> float:
+    from repro.experiments.fig06_lr import run
+    from repro.experiments.sweep import SweepRunner
+
+    start = time.perf_counter()
+    run(quick=quick, trials=trials, runner=SweepRunner(jobs=jobs, cache_dir=cache_dir))
+    return time.perf_counter() - start
+
+
+def bench_fig13(quick: bool, trials: int, jobs: int) -> tuple[float, float]:
+    """Large-cluster comparison: serial sessions vs batched sweep (Fig 13)."""
+    from repro.apps.datasets import make_classification
+    from repro.cluster.speed_models import TraceSpeeds
+    from repro.coding.mds import MDSCode
+    from repro.experiments.fig13_scale import MDS_K, N_WORKERS, run
+    from repro.experiments.harness import run_coded_lr_like
+    from repro.experiments.sweep import SEED_STRIDE, SweepRunner
+    from repro.prediction.predictor import StalePredictor
+    from repro.prediction.traces import BURSTY, STABLE, generate_speed_traces
+    from repro.scheduling.s2c2 import GeneralS2C2Scheduler
+    from repro.scheduling.static import StaticCodedScheduler
+    from repro.scheduling.timeout import TimeoutPolicy
+
+    size = 1200 if quick else 4000
+    iterations = 3 if quick else 15
+    matrix, _ = make_classification(size, size, seed=0)
+    start = time.perf_counter()
+    for environment in ("low", "high"):
+        config = STABLE if environment == "low" else BURSTY
+        miss = 0.0 if environment == "low" else 0.18
+        for strategy in ("static", "s2c2"):
+            for t in range(trials):
+                seed = SEED_STRIDE * t
+                traces = generate_speed_traces(
+                    N_WORKERS, 2 * iterations + 2, config, seed=seed
+                )
+                if strategy == "s2c2":
+                    scheduler = GeneralS2C2Scheduler(coverage=MDS_K, num_chunks=10_000)
+                    timeout = TimeoutPolicy()
+                else:
+                    scheduler = StaticCodedScheduler(coverage=MDS_K, num_chunks=10_000)
+                    timeout = None
+                run_coded_lr_like(
+                    matrix,
+                    lambda: MDSCode(N_WORKERS, MDS_K),
+                    scheduler,
+                    TraceSpeeds(traces),
+                    StalePredictor(
+                        speed_model=TraceSpeeds(traces), miss_rate=miss, seed=seed
+                    ),
+                    iterations=iterations,
+                    timeout=timeout,
+                )
+    serial = time.perf_counter() - start
+
+    start = time.perf_counter()
+    run(quick=quick, trials=trials, runner=SweepRunner(jobs=jobs))
+    return serial, time.perf_counter() - start
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--trials", type=int, default=8)
+    parser.add_argument("--jobs", type=int, default=2)
+    parser.add_argument(
+        "--full", action="store_true", help="paper-scale sizes (slow)"
+    )
+    args = parser.parse_args()
+    quick = not args.full
+
+    serial = bench_serial_sessions(quick, args.trials)
+    print(f"fig06  serial sessions ({args.trials} trials): {serial:7.2f}s")
+    with tempfile.TemporaryDirectory() as cache:
+        swept = bench_sweep(quick, args.trials, args.jobs, cache)
+        print(
+            f"fig06  sweep engine  (--jobs {args.jobs}, batched): "
+            f"{swept:7.2f}s   ({serial / swept:.1f}x)"
+        )
+        warm = bench_sweep(quick, args.trials, args.jobs, cache)
+        print(f"fig06  sweep engine  (warm cache):        {warm:7.2f}s")
+
+    serial13, swept13 = bench_fig13(quick, args.trials, args.jobs)
+    print(f"fig13  serial sessions ({args.trials} trials): {serial13:7.2f}s")
+    print(
+        f"fig13  sweep engine  (--jobs {args.jobs}, batched): "
+        f"{swept13:7.2f}s   ({serial13 / swept13:.1f}x)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+"""Documentation link checker: fail if the docs reference dead code.
+
+Usage:  PYTHONPATH=src python scripts/check_docs.py [files...]
+
+Scans README.md and docs/*.md (by default) for
+
+* backticked ``repro.*`` dotted references — each must resolve to an
+  importable module, or to an attribute of one (``repro.a.b.C.method``
+  resolves module-prefix-first, then attribute access);
+* backticked repository paths (``scripts/x.sh``, ``docs/y.md``,
+  ``src/repro/...``, ``tests/...``, ``benchmarks/``) — each must exist;
+* experiment names in ``python -m repro experiments <name>`` examples —
+  each must be registered in ``repro.experiments.ALL_EXPERIMENTS``.
+
+Exits non-zero listing every broken reference, so CI (and
+``scripts/smoke.sh``) keeps documentation and code from drifting apart.
+"""
+
+from __future__ import annotations
+
+import importlib
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+DOTTED = re.compile(r"`(repro(?:\.[A-Za-z_][A-Za-z0-9_]*)+)`")
+PATHLIKE = re.compile(
+    r"`((?:src|docs|scripts|tests|benchmarks|examples)(?:/[A-Za-z0-9_.\-]+)*/?)`"
+)
+EXPERIMENT_CMD = re.compile(r"python -m repro experiments ((?:[a-z0-9]+ )*[a-z0-9]+)")
+
+
+def resolve_dotted(ref: str) -> bool:
+    """True when ``ref`` is an importable module or attribute path."""
+    parts = ref.split(".")
+    for split in range(len(parts), 0, -1):
+        module_name = ".".join(parts[:split])
+        try:
+            obj = importlib.import_module(module_name)
+        except ImportError:
+            continue
+        try:
+            for attr in parts[split:]:
+                obj = getattr(obj, attr)
+        except AttributeError:
+            return False
+        return True
+    return False
+
+
+def check_file(path: Path) -> list[str]:
+    text = path.read_text()
+    errors = []
+    for ref in sorted(set(DOTTED.findall(text))):
+        if not resolve_dotted(ref):
+            errors.append(f"{path.name}: unresolvable reference `{ref}`")
+    for ref in sorted(set(PATHLIKE.findall(text))):
+        if not (REPO_ROOT / ref).exists():
+            errors.append(f"{path.name}: missing path `{ref}`")
+    from repro.experiments import ALL_EXPERIMENTS
+
+    for names in EXPERIMENT_CMD.findall(text):
+        for name in names.split():
+            if name not in ALL_EXPERIMENTS:
+                errors.append(f"{path.name}: unknown experiment `{name}`")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if argv:
+        files = [Path(a) for a in argv]
+    else:
+        files = [REPO_ROOT / "README.md", *sorted((REPO_ROOT / "docs").glob("*.md"))]
+    errors = []
+    for path in files:
+        if not path.exists():
+            errors.append(f"{path}: file not found")
+            continue
+        errors.extend(check_file(path))
+    for error in errors:
+        print(f"BROKEN: {error}", file=sys.stderr)
+    checked = ", ".join(p.name for p in files)
+    if errors:
+        print(f"{len(errors)} broken reference(s) in {checked}", file=sys.stderr)
+        return 1
+    print(f"docs OK: {checked}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,30 +1,19 @@
 """Run every experiment at full scale and dump the tables.
 
-Usage:  python scripts/run_all_experiments.py [--quick] [names...]
+Usage:  python scripts/run_all_experiments.py [names...] [--quick]
+            [--trials N] [--jobs N] [--no-cache] [--cache-dir PATH]
 
-Prints each figure's table (and wall time) to stdout; EXPERIMENTS.md's
-measured columns come from this output.
+Thin wrapper over ``python -m repro experiments`` (full scale is the
+default here, matching the original behaviour of this script); EXPERIMENTS
+tables' measured columns come from this output.  ``--jobs N`` spreads the
+sweep cells of each figure over a process pool and ``--trials N`` averages
+every figure over N seeded Monte-Carlo trials, simulated in vectorized
+batches.
 """
 
 import sys
-import time
 
-from repro.experiments import ALL_EXPERIMENTS
-
-
-def main() -> None:
-    args = [a for a in sys.argv[1:]]
-    quick = "--quick" in args
-    names = [a for a in args if not a.startswith("--")] or list(ALL_EXPERIMENTS)
-    for name in names:
-        runner = ALL_EXPERIMENTS[name]
-        start = time.perf_counter()
-        result = runner(quick=quick)
-        elapsed = time.perf_counter() - start
-        print(result.format_table())
-        print(f"   [{elapsed:.1f}s]")
-        print(flush=True)
-
+from repro.__main__ import main
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main(["experiments", *sys.argv[1:]]))

@@ -1,0 +1,23 @@
+#!/bin/sh
+# End-to-end smoke check: tier-1 tests, docs links, and one tiny parallel
+# sweep exercising --trials / --jobs / the on-disk cache.
+#
+# Usage:  sh scripts/smoke.sh
+set -e
+cd "$(dirname "$0")/.."
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+export PYTHONPATH
+
+echo "== tier-1 tests =="
+python -m pytest -x -q
+
+echo "== docs link check =="
+python scripts/check_docs.py
+
+echo "== tiny parallel sweep (cold, then warm cache) =="
+CACHE="$(mktemp -d)"
+trap 'rm -rf "$CACHE"' EXIT
+python -m repro experiments fig01 --quick --trials 2 --jobs 2 --cache-dir "$CACHE"
+python -m repro experiments fig01 --quick --trials 2 --jobs 2 --cache-dir "$CACHE"
+
+echo "smoke OK"

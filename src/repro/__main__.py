@@ -1,10 +1,15 @@
-"""Command-line entry point: ``python -m repro <command>``.
+"""Command-line entry point: ``python -m repro <command>`` (or ``repro``).
 
 Commands
 --------
-``experiments [names...] [--quick]``
+``experiments [names...] [--quick] [--trials N] [--jobs N] [--no-cache]
+[--cache-dir PATH] [--seed S]``
     Regenerate the paper's figures (all of them by default) and print the
-    tables.  ``--quick`` uses the reduced CI-scale configurations.
+    tables.  ``--quick`` uses the reduced CI-scale configurations;
+    ``--trials`` averages every figure over N seeded Monte-Carlo trials
+    (simulated in vectorized batches); ``--jobs`` runs sweep cells on a
+    process pool; results are cached on disk keyed by content hash unless
+    ``--no-cache`` is given.
 ``list``
     List the available experiment names with their descriptions.
 ``version``
@@ -28,18 +33,27 @@ def _cmd_list() -> int:
     return 0
 
 
-def _cmd_experiments(names: list[str], quick: bool) -> int:
+def _cmd_experiments(args: argparse.Namespace) -> int:
     from repro.experiments import ALL_EXPERIMENTS
+    from repro.experiments.sweep import SweepRunner, default_cache_dir
 
-    targets = names or sorted(ALL_EXPERIMENTS)
+    targets = args.names or sorted(ALL_EXPERIMENTS)
     unknown = [n for n in targets if n not in ALL_EXPERIMENTS]
     if unknown:
         print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
         print(f"available: {', '.join(sorted(ALL_EXPERIMENTS))}", file=sys.stderr)
         return 2
+    cache_dir = None if args.no_cache else (args.cache_dir or default_cache_dir())
+    try:
+        runner = SweepRunner(jobs=args.jobs, cache_dir=cache_dir)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     for name in targets:
         start = time.perf_counter()
-        result = ALL_EXPERIMENTS[name](quick=quick)
+        result = ALL_EXPERIMENTS[name](
+            quick=args.quick, seed=args.seed, trials=args.trials, runner=runner
+        )
         elapsed = time.perf_counter() - start
         print(result.format_table())
         print(f"   [{elapsed:.1f}s]")
@@ -47,7 +61,15 @@ def _cmd_experiments(names: list[str], quick: bool) -> int:
     return 0
 
 
-def main(argv: list[str] | None = None) -> int:
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (shared with ``scripts/``)."""
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="S2C2 (SC '19) reproduction toolkit",
@@ -58,11 +80,46 @@ def main(argv: list[str] | None = None) -> int:
     run_p.add_argument(
         "--quick", action="store_true", help="reduced CI-scale configurations"
     )
+    run_p.add_argument(
+        "--trials",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="Monte-Carlo trials per sweep cell, simulated in vectorized "
+        "batches and averaged (default: 1)",
+    )
+    run_p.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="process-pool width for sweep cells (default: 1 = inline)",
+    )
+    run_p.add_argument(
+        "--seed", type=int, default=0, help="base seed of trial 0 (default: 0)"
+    )
+    run_p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk sweep result cache",
+    )
+    run_p.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="PATH",
+        help="sweep cache directory (default: $REPRO_CACHE_DIR or "
+        "~/.cache/repro/sweeps)",
+    )
     sub.add_parser("list", help="list available experiments")
     sub.add_parser("version", help="print the package version")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
     args = parser.parse_args(argv)
     if args.command == "experiments":
-        return _cmd_experiments(args.names, args.quick)
+        return _cmd_experiments(args)
     if args.command == "list":
         return _cmd_list()
     if args.command == "version":

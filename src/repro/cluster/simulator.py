@@ -22,11 +22,28 @@ Every simulator returns an outcome carrying the iteration latency breakdown,
 per-worker computed/used row counts (the wasted-computation accounting of
 Figs 9/11), the bytes moved for load balancing, and the *contributions* the
 master actually uses — which the runtime layer then executes numerically.
+
+Batched Monte-Carlo trials
+--------------------------
+:meth:`CodedIterationSim.run_batch` simulates a whole ``(trials, workers)``
+speed matrix in one call.  The two plan shapes every scheduler here produces
+— *full* plans (conventional coded computation: everyone computes
+everything) and *exact-coverage* plans (S2C2's no-wasted-work wraparound
+layout) — admit closed-form batch timelines, so arrivals, completion times
+and the computed/used accounting are evaluated with stacked numpy arrays
+across all trials at once.  Trials that trigger the §4.3 timeout repair (or
+an unclassifiable plan) fall back to the scalar :meth:`~CodedIterationSim.run`
+for that trial, so batched results are *exactly* equal to a per-trial loop
+by construction.  :meth:`ReplicationIterationSim.run_batch` vectorizes the
+arrival computation and resolves the (inherently sequential) speculation
+decisions per trial; over-decomposition stays scalar — its closed-form
+per-worker sums leave nothing to batch.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
@@ -40,11 +57,43 @@ from repro.scheduling.timeout import TimeoutPolicy, repair_assignments
 __all__ = [
     "WorkerIterationStats",
     "CodedIterationOutcome",
+    "BatchCodedOutcome",
     "CodedIterationSim",
     "UncodedIterationOutcome",
     "ReplicationIterationSim",
     "OverDecompositionIterationSim",
 ]
+
+
+def _normalise_batch(
+    speeds: np.ndarray,
+    failed_workers: frozenset[int] | Sequence[frozenset[int]],
+    n_workers: int | None = None,
+) -> tuple[np.ndarray, int, list[frozenset[int]]]:
+    """Validate batch inputs shared by every ``run_batch``.
+
+    Returns the ``(trials, workers)`` speed matrix, the trial count, and
+    one failure set per trial (a single set is broadcast to all trials).
+    """
+    speeds = np.asarray(speeds, dtype=np.float64)
+    expected = "workers" if n_workers is None else str(n_workers)
+    if speeds.ndim != 2 or (n_workers is not None and speeds.shape[1] != n_workers):
+        raise ValueError(
+            f"speeds must be 2-D (trials, {expected}), got shape {speeds.shape}"
+        )
+    if np.any(speeds <= 0):
+        raise ValueError("speeds must be positive (model failures via "
+                         "failed_workers)")
+    trials = speeds.shape[0]
+    if isinstance(failed_workers, (frozenset, set)):
+        failed_list = [frozenset(failed_workers)] * trials
+    else:
+        failed_list = [frozenset(f) for f in failed_workers]
+        if len(failed_list) != trials:
+            raise ValueError(
+                f"got {len(failed_list)} failure sets for {trials} trials"
+            )
+    return speeds, trials, failed_list
 
 
 @dataclass
@@ -101,6 +150,44 @@ class CodedIterationOutcome:
     def total_computed_rows(self) -> float:
         """Cluster-wide row computations (used + wasted)."""
         return float(sum(w.computed_rows for w in self.workers))
+
+
+@dataclass
+class BatchCodedOutcome:
+    """Stacked outcomes of ``trials`` coded iterations (one row per trial).
+
+    Per-trial values equal what :meth:`CodedIterationSim.run` returns for
+    that trial's (plan, speeds) pair; ``contributions`` are not materialised
+    (latency/waste sweeps never read them — use the scalar path when the
+    numeric result is needed).
+    """
+
+    completion_time: np.ndarray  # (trials,)
+    broadcast_time: float
+    decode_time: np.ndarray  # (trials,)
+    assigned_rows: np.ndarray  # (trials, workers)
+    computed_rows: np.ndarray  # (trials, workers)
+    used_rows: np.ndarray  # (trials, workers)
+    responded: np.ndarray  # (trials, workers) bool
+    repaired: np.ndarray  # (trials,) bool
+
+    @property
+    def n_trials(self) -> int:
+        return self.completion_time.size
+
+    def wasted_rows(self) -> np.ndarray:
+        """Per-trial per-worker rows computed but never used."""
+        return np.maximum(0.0, self.computed_rows - self.used_rows)
+
+
+@dataclass(frozen=True)
+class _PlanProfile:
+    """Per-plan constants the batch path reuses across trials."""
+
+    kind: str  # "full" | "exact" | "general"
+    rows: np.ndarray  # (n,) assigned rows per worker
+    n_active: int
+    decode_groups: int  # groups for decode_time on the natural path
 
 
 @dataclass(frozen=True)
@@ -382,6 +469,228 @@ class CodedIterationSim:
             return contributions, extra_rows, laggards, finish
         return None
 
+    # ------------------------------------------------------------------
+    # Batched Monte-Carlo path
+    # ------------------------------------------------------------------
+
+    def _profile(self, plan: CodedWorkPlan) -> _PlanProfile:
+        """Classify a plan and precompute the per-worker row counts.
+
+        Row counts come from the grid's chunk offsets and the plan's range
+        representation directly — O(ranges) per worker instead of expanding
+        10k-chunk index arrays the way the scalar path does.
+        """
+        offsets = self.grid.chunk_offsets()
+        num_chunks = plan.num_chunks
+        rows = np.zeros(plan.n_workers, dtype=np.int64)
+        full = True
+        coverage = np.zeros(num_chunks, dtype=np.int64)
+        for w, assignment in enumerate(plan.assignments):
+            if assignment.ranges != ((0, num_chunks),):
+                full = False
+            for begin, end in assignment.ranges:
+                rows[w] += int(offsets[end] - offsets[begin])
+                coverage[begin:end] += 1
+        n_active = int(np.count_nonzero(rows))
+        if full:
+            kind = "full"
+            groups = plan.coverage
+        elif bool(np.all(coverage == plan.coverage)):
+            kind = "exact"
+            groups = n_active
+        else:
+            kind = "general"
+            groups = 0
+        return _PlanProfile(
+            kind=kind, rows=rows, n_active=n_active, decode_groups=groups
+        )
+
+    def _batch_deadlines(
+        self, sorted_active: np.ndarray, coverages: np.ndarray
+    ) -> np.ndarray:
+        """Per-trial §4.3 deadlines (NaN where the timeout cannot arm).
+
+        Mirrors :meth:`_timeout_deadline` per trial — including computing
+        the mean with ``np.mean`` on the same slice, so the armed deadline
+        is bit-identical to the scalar path.
+        """
+        trials = sorted_active.shape[0]
+        deadlines = np.full(trials, np.nan)
+        if self.timeout is None:
+            return deadlines
+        for t in range(trials):
+            k = self.timeout.min_responses or int(coverages[t])
+            finite = sorted_active[t][np.isfinite(sorted_active[t])]
+            if finite.size == 0:
+                continue
+            deadlines[t] = self.timeout.deadline(
+                float(np.mean(finite[: min(k, finite.size)]))
+            )
+        return deadlines
+
+    def run_batch(
+        self,
+        plans: CodedWorkPlan | Sequence[CodedWorkPlan],
+        speeds: np.ndarray,
+        failed_workers: frozenset[int] | Sequence[frozenset[int]] = frozenset(),
+    ) -> BatchCodedOutcome:
+        """Simulate one iteration for a whole batch of trials at once.
+
+        Parameters
+        ----------
+        plans:
+            One plan shared by every trial, or one plan per trial (plans
+            built from per-trial predictions).  Duplicate plan *objects*
+            are profiled once.
+        speeds:
+            ``(trials, workers)`` matrix of actual speeds.
+        failed_workers:
+            A single frozenset applied to every trial, or one per trial.
+
+        Returns per-trial results exactly equal to looping
+        :meth:`run` — full and exact-coverage plans take closed-form
+        vectorized timelines; trials that arm the timeout repair (and plans
+        of any other shape) are delegated to the scalar path.
+        """
+        speeds, trials, failed_list = _normalise_batch(speeds, failed_workers)
+        n = speeds.shape[1]
+        if isinstance(plans, CodedWorkPlan):
+            plan_list = [plans] * trials
+        else:
+            plan_list = list(plans)
+            if len(plan_list) != trials:
+                raise ValueError(
+                    f"got {len(plan_list)} plans for {trials} trials"
+                )
+        if any(p.n_workers != n for p in plan_list):
+            raise ValueError("every plan must span the batch's worker count")
+        failed_mask = np.zeros((trials, n), dtype=bool)
+        for t, failed in enumerate(failed_list):
+            if failed:
+                failed_mask[t, list(failed)] = True
+
+        profiles: dict[int, _PlanProfile] = {}
+        for p in plan_list:
+            if id(p) not in profiles:
+                profiles[id(p)] = self._profile(p)
+        rows_mat = np.stack([profiles[id(p)].rows for p in plan_list])
+        active = rows_mat > 0
+        kinds = np.array([profiles[id(p)].kind for p in plan_list])
+        coverages = np.array([p.coverage for p in plan_list], dtype=np.int64)
+
+        # Arrivals, mirroring _arrival()'s float-op order term by term so
+        # batched values are bit-identical to the scalar path.
+        broadcast = self.network.transfer_time(
+            (self.broadcast_width if self.broadcast_width is not None else self.width)
+            * self.cost.bytes_per_element
+        )
+        denom = self.cost.worker_flops * speeds
+        fixed = self.fixed_task_flops / denom
+        compute = (rows_mat * self.width * self.cost.flops_per_element) / denom
+        reply = self.network.latency + (
+            rows_mat * self.cost.row_bytes(self.width_out)
+        ) / self.network.bandwidth
+        arrivals = ((broadcast + fixed) + compute) + reply
+        arrivals[failed_mask | ~active] = np.inf
+
+        # Natural completion: k-th response for full plans, last active
+        # response for exact-coverage plans.
+        done = np.full(trials, np.inf)
+        full_rows = kinds == "full"
+        exact_rows = kinds == "exact"
+        sorted_arr = np.sort(arrivals, axis=1)
+        if np.any(full_rows):
+            kth = sorted_arr[full_rows, coverages[full_rows] - 1]
+            done[full_rows] = kth
+        if np.any(exact_rows):
+            # Exact coverage needs every active worker; a failed active
+            # worker leaves its arrival at inf, which propagates through
+            # the max as "never completes naturally".
+            masked = np.where(active[exact_rows], arrivals[exact_rows], -np.inf)
+            done[exact_rows] = masked.max(axis=1)
+
+        deadlines = self._batch_deadlines(sorted_arr, coverages)
+        fallback = (kinds == "general") | (
+            ~np.isnan(deadlines) & (done > deadlines)
+        ) | np.isinf(done)
+
+        assigned = rows_mat.copy()
+        computed = np.zeros((trials, n))
+        used = np.zeros((trials, n), dtype=np.int64)
+        responded = np.zeros((trials, n), dtype=bool)
+        repaired = np.zeros(trials, dtype=bool)
+        decode = np.zeros(trials)
+        completion = np.zeros(trials)
+
+        fast = ~fallback
+        if np.any(fast):
+            resp = active & (arrivals <= done[:, None]) & fast[:, None]
+            # Partial progress of cancelled stragglers (mirrors
+            # _progress_rows term by term).
+            per_row = (self.width * self.cost.flops_per_element) / denom
+            elapsed = (done[:, None] - broadcast) - fixed
+            progress = np.where(elapsed <= 0, 0.0, elapsed / per_row)
+            progress = np.minimum(rows_mat, np.maximum(0.0, progress))
+            computed_fast = np.where(
+                resp,
+                rows_mat.astype(np.float64),
+                np.where(failed_mask, 0.0, progress),
+            )
+            computed_fast[~active] = 0.0
+            computed[fast] = computed_fast[fast]
+            responded[fast] = resp[fast]
+            # Used rows: every active worker on exact plans; the first
+            # ``coverage`` responses (stable arrival order) on full plans.
+            exact_fast = exact_rows & fast
+            if np.any(exact_fast):
+                used[exact_fast] = np.where(
+                    active[exact_fast], rows_mat[exact_fast], 0
+                )
+            full_fast = full_rows & fast
+            if np.any(full_fast):
+                order = np.argsort(arrivals[full_fast], axis=1, kind="stable")
+                sub = np.zeros((int(full_fast.sum()), n), dtype=np.int64)
+                take = coverages[full_fast]
+                for i in range(sub.shape[0]):
+                    contributors = order[i, : take[i]]
+                    sub[i, contributors] = rows_mat[full_fast][i, contributors]
+                used[full_fast] = sub
+            groups = np.array(
+                [profiles[id(p)].decode_groups for p in plan_list], dtype=np.int64
+            )
+            for t in np.flatnonzero(fast):
+                decode[t] = self.cost.decode_time(
+                    rows=self.grid.rows,
+                    coverage=int(coverages[t]),
+                    width_out=self.width_out,
+                    groups=max(1, int(groups[t])),
+                )
+            completion[fast] = done[fast] + decode[fast]
+
+        # Repair-armed, unsatisfiable, or unclassified trials: the scalar
+        # simulator is the semantics of record.
+        for t in np.flatnonzero(fallback):
+            outcome = self.run(plan_list[t], speeds[t], failed_list[t])
+            completion[t] = outcome.completion_time
+            decode[t] = outcome.decode_time
+            repaired[t] = outcome.repaired
+            for w, stat in enumerate(outcome.workers):
+                assigned[t, w] = stat.assigned_rows
+                computed[t, w] = stat.computed_rows
+                used[t, w] = stat.used_rows
+                responded[t, w] = stat.response_time is not None
+
+        return BatchCodedOutcome(
+            completion_time=completion,
+            broadcast_time=broadcast,
+            decode_time=decode,
+            assigned_rows=assigned,
+            computed_rows=computed,
+            used_rows=used,
+            responded=responded,
+            repaired=repaired,
+        )
+
 
 @dataclass
 class UncodedIterationOutcome:
@@ -425,6 +734,26 @@ class ReplicationIterationSim:
         reply = self.network.transfer_time(rows * self.cost.row_bytes(self.width_out))
         return start + compute + reply
 
+    def _primary_arrivals(
+        self, speeds: np.ndarray, failed: Sequence[frozenset[int]]
+    ) -> np.ndarray:
+        """Vectorized primary-task arrivals for a ``(trials, n)`` batch.
+
+        Term-by-term mirror of :meth:`_arrival`, so per-trial rows are
+        bit-identical to the scalar computation.
+        """
+        rows = self.rows_per_partition
+        broadcast = self.network.transfer_time(self.width * self.cost.bytes_per_element)
+        compute = (rows * self.width * self.cost.flops_per_element) / (
+            self.cost.worker_flops * speeds
+        )
+        reply = self.network.transfer_time(rows * self.cost.row_bytes(self.width_out))
+        arrivals = (broadcast + compute) + reply
+        for t, failed_set in enumerate(failed):
+            if failed_set:
+                arrivals[t, list(failed_set)] = np.inf
+        return arrivals
+
     def run(
         self,
         speeds: np.ndarray,
@@ -437,15 +766,41 @@ class ReplicationIterationSim:
             raise ValueError(f"speeds must have shape ({n},), got {speeds.shape}")
         if np.any(speeds <= 0):
             raise ValueError("speeds must be positive; use failed_workers")
+        primary = self._primary_arrivals(speeds[None, :], [failed_workers])[0]
+        return self._complete(speeds, primary, failed_workers)
+
+    def run_batch(
+        self,
+        speeds: np.ndarray,
+        failed_workers: frozenset[int] | Sequence[frozenset[int]] = frozenset(),
+    ) -> list[UncodedIterationOutcome]:
+        """Simulate a ``(trials, n)`` batch; one outcome per trial.
+
+        Arrivals are computed for the whole batch at once; the speculation
+        decisions (inherently sequential: a bounded number of relaunches on
+        whichever workers happen to be idle) are resolved per trial by the
+        same code the scalar path uses.
+        """
+        speeds, trials, failed_list = _normalise_batch(
+            speeds, failed_workers, n_workers=self.placement.n_workers
+        )
+        arrivals = self._primary_arrivals(speeds, failed_list)
+        return [
+            self._complete(speeds[t], arrivals[t], failed_list[t])
+            for t in range(trials)
+        ]
+
+    def _complete(
+        self,
+        speeds: np.ndarray,
+        primary_arrival: np.ndarray,
+        failed_workers: frozenset[int],
+    ) -> UncodedIterationOutcome:
+        """Resolve speculation and accounting for one trial."""
+        n = self.placement.n_workers
         rows = self.rows_per_partition
         broadcast = self.network.transfer_time(self.width * self.cost.bytes_per_element)
         stats = [WorkerIterationStats(worker=w, assigned_rows=rows) for w in range(n)]
-        primary_arrival = np.array(
-            [
-                np.inf if w in failed_workers else self._arrival(rows, speeds[w], broadcast)
-                for w in range(n)
-            ]
-        )
         finite = np.sort(primary_arrival[np.isfinite(primary_arrival)])
         watch_count = max(1, int(np.ceil(self.config.watch_fraction * n)))
         if finite.size >= watch_count:

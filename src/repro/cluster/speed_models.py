@@ -14,18 +14,33 @@ speeds for that iteration (speed 1.0 = nominal worker throughput,
 :class:`~repro.cluster.network.CostModel.worker_flops`).  Speeds are
 constant within an iteration, matching the paper's per-iteration
 measurement granularity (§6.2).
+
+Monte-Carlo sweeps additionally need a *trial* axis: :class:`BatchSpeedModel`
+extends the per-iteration contract to a ``(trials, workers)`` speed matrix
+per call, which :meth:`~repro.cluster.simulator.CodedIterationSim.run_batch`
+consumes directly.  Trial ``t`` of a batch model replays exactly what the
+corresponding single-trial model (same seed) would produce, so batched runs
+are comparable point-for-point with per-trial loops.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Protocol, runtime_checkable
+from typing import Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
 from repro._util import as_rng, check_positive_int
 
-__all__ = ["SpeedModel", "ControlledSpeeds", "TraceSpeeds", "ConstantSpeeds"]
+__all__ = [
+    "SpeedModel",
+    "ControlledSpeeds",
+    "TraceSpeeds",
+    "ConstantSpeeds",
+    "BatchSpeedModel",
+    "StackedSpeeds",
+    "BatchTraceSpeeds",
+]
 
 
 @runtime_checkable
@@ -193,3 +208,98 @@ class TraceSpeeds:
         if iteration < 0:
             raise ValueError("iteration must be >= 0")
         return self.traces[:, iteration % self.length].copy()
+
+
+@runtime_checkable
+class BatchSpeedModel(Protocol):
+    """Protocol: iteration index → ``(n_trials, n_workers)`` speed matrix."""
+
+    n_workers: int
+    n_trials: int
+
+    def speeds_batch(self, iteration: int) -> np.ndarray:
+        """Actual speeds for every trial at ``iteration`` (all > 0)."""
+        ...
+
+
+@dataclass
+class StackedSpeeds:
+    """Stack independent single-trial speed models into a batch model.
+
+    The generic batching adapter: trial ``t`` of the batch is exactly
+    ``models[t]`` (typically the same model class seeded per trial), so a
+    batched simulation consumes the identical speed draws a per-trial loop
+    would — the property the batched-vs-loop equivalence tests rely on.
+    Generation cost is linear in trials, which is negligible next to the
+    simulation itself; the payoff is the stacked ``(trials, workers)``
+    matrix the vectorized simulators operate on.
+    """
+
+    models: tuple[SpeedModel, ...]
+
+    def __post_init__(self) -> None:
+        models = tuple(self.models)
+        if not models:
+            raise ValueError("at least one model is required")
+        widths = {m.n_workers for m in models}
+        if len(widths) != 1:
+            raise ValueError(f"models disagree on n_workers: {sorted(widths)}")
+        self.models = models
+
+    @property
+    def n_workers(self) -> int:
+        return self.models[0].n_workers
+
+    @property
+    def n_trials(self) -> int:
+        return len(self.models)
+
+    def speeds_batch(self, iteration: int) -> np.ndarray:
+        return np.stack([m.speeds(iteration) for m in self.models])
+
+
+@dataclass(frozen=True)
+class BatchTraceSpeeds:
+    """Vectorized trace replay over a trial axis (cloud sweeps).
+
+    ``traces`` has shape ``(n_trials, n_workers, length)``; replay wraps
+    around like :class:`TraceSpeeds`.  Use :meth:`from_traces` to stack
+    per-trial 2-D trace arrays (e.g. one generator call per trial seed).
+    """
+
+    traces: np.ndarray
+
+    def __post_init__(self) -> None:
+        traces = np.asarray(self.traces, dtype=np.float64)
+        if traces.ndim != 3 or traces.size == 0:
+            raise ValueError("traces must be a non-empty 3-D array")
+        if np.any(traces <= 0):
+            raise ValueError("trace speeds must be positive")
+        object.__setattr__(self, "traces", traces)
+
+    @classmethod
+    def from_traces(cls, per_trial: Sequence[np.ndarray]) -> "BatchTraceSpeeds":
+        """Stack per-trial ``(n_workers, length)`` arrays into a batch."""
+        return cls(np.stack([np.asarray(t, dtype=np.float64) for t in per_trial]))
+
+    @property
+    def n_trials(self) -> int:
+        return self.traces.shape[0]
+
+    @property
+    def n_workers(self) -> int:
+        return self.traces.shape[1]
+
+    @property
+    def length(self) -> int:
+        """Number of iterations before the replay wraps."""
+        return self.traces.shape[2]
+
+    def trial(self, t: int) -> TraceSpeeds:
+        """Single-trial view (replays trial ``t``'s traces exactly)."""
+        return TraceSpeeds(self.traces[t])
+
+    def speeds_batch(self, iteration: int) -> np.ndarray:
+        if iteration < 0:
+            raise ValueError("iteration must be >= 0")
+        return self.traces[:, :, iteration % self.length].copy()

@@ -1,4 +1,4 @@
-"""Shared runner for the cloud experiments (Figs 8–11, §7.2).
+"""Shared sweep cell for the cloud experiments (Figs 8–11, §7.2).
 
 Setup mirrored from the paper: a 10-worker cloud whose speeds drift
 according to generated traces (``STABLE`` → the ~0% mis-prediction
@@ -10,49 +10,59 @@ trained on held-out traces; strategies:
 * conventional MDS and S2C2 at (8,7), (9,7) and (10,7) — the (9,7) and
   (8,7) variants use only 9 / 8 of the cluster's workers, exactly as a
   smaller code would.
+
+All four cloud figures read from the single :func:`cloud_cell` sweep cell
+(one per environment): Figs 8/9 share the low-environment cell and
+Figs 10/11 the high one, deduplicated by the sweep runner's on-disk cache
+across invocations (and by an in-process memo within one).  The coded
+strategies simulate every trial at once through the batched latency
+engine; the LSTM forecaster is trained once per environment (on traces
+disjoint from every replayed trial) and shared across trials.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import functools
 
 import numpy as np
 
-from repro.apps.datasets import make_classification
-from repro.cluster.speed_models import TraceSpeeds
-from repro.coding.mds import MDSCode
+from repro.cluster.speed_models import StackedSpeeds, TraceSpeeds
 from repro.experiments.harness import (
-    run_coded_lr_like,
+    run_coded_lr_like_batch,
     run_overdecomposition_lr_like,
 )
+from repro.experiments.sweep import SweepContext
 from repro.prediction.lstm import LSTMSpeedModel
-from repro.prediction.predictor import LSTMPredictor
+from repro.prediction.predictor import LSTMPredictor, StackedPredictor
 from repro.prediction.traces import STABLE, VOLATILE, TraceConfig, generate_speed_traces
 from repro.scheduling.s2c2 import GeneralS2C2Scheduler
 from repro.scheduling.static import StaticCodedScheduler
 from repro.scheduling.timeout import TimeoutPolicy
 
-__all__ = ["CloudRun", "run_cloud_suite", "CODE_VARIANTS"]
+__all__ = [
+    "cloud_cell",
+    "run_environment",
+    "strategy_labels",
+    "CODE_VARIANTS",
+    "N_WORKERS",
+    "MDS_K",
+]
 
 N_WORKERS = 10
 MDS_K = 7
 CODE_VARIANTS = (8, 9, 10)
+WARMUP = 12
 
 
-@dataclass
-class CloudRun:
-    """All sessions of one cloud environment, keyed by strategy label."""
-
-    total_times: dict[str, float]
-    wasted: dict[str, np.ndarray]
-    misprediction_rate: float
-
-    def normalised(self, reference: str = "s2c2-10-7") -> dict[str, float]:
-        """Execution times normalised to ``reference`` (paper's Figs 8/10)."""
-        base = self.total_times[reference]
-        return {k: v / base for k, v in self.total_times.items()}
+def strategy_labels() -> list[str]:
+    """Every §7.2 strategy label, over-decomposition first."""
+    labels = ["over-decomposition"]
+    labels += [f"mds-{n}-{MDS_K}" for n in CODE_VARIANTS]
+    labels += [f"s2c2-{n}-{MDS_K}" for n in CODE_VARIANTS]
+    return labels
 
 
+@functools.lru_cache(maxsize=4)
 def _train_lstm(config: TraceConfig, quick: bool, seed: int) -> LSTMSpeedModel:
     """Train the §6.1 LSTM on traces disjoint from the replayed ones."""
     length = 200 if quick else 500
@@ -62,57 +72,95 @@ def _train_lstm(config: TraceConfig, quick: bool, seed: int) -> LSTMSpeedModel:
     return model
 
 
-import functools
+def _warmed_predictor(
+    lstm: LSTMSpeedModel, history: np.ndarray, n: int
+) -> LSTMPredictor:
+    # The master has speed history before the measured window starts;
+    # replay it so the recurrent state is warm (cold-start forecasts
+    # would otherwise dominate the short measured runs).
+    predictor = LSTMPredictor(lstm, n)
+    for t in range(WARMUP):
+        predictor.update(history[:n, t])
+    return predictor
+
+
+def run_environment(
+    environment: str,
+    quick: bool = True,
+    seed: int = 0,
+    trials: int = 1,
+    runner=None,
+) -> dict:
+    """Run (or fetch from cache) one environment's strategy suite.
+
+    The sweep convenience the four cloud figures share; returns the
+    :func:`cloud_cell` value for the requested environment.
+    """
+    from repro.experiments.sweep import SweepRunner, SweepSpec
+
+    spec = SweepSpec(
+        name=f"cloud-{environment}",
+        cell=cloud_cell,
+        axes=(("environment", (environment,)),),
+        trials=trials,
+        base_seed=seed,
+        quick=quick,
+    )
+    return (runner or SweepRunner()).run(spec).get(environment=environment)
+
+
+def cloud_cell(params: dict, ctx: SweepContext) -> dict:
+    """One environment's full strategy suite, per trial.
+
+    Returns ``{"total": {label: [per-trial]}, "wasted": {label:
+    [per-trial per-worker]}, "misprediction": [per-trial]}`` where the
+    mis-prediction rate is measured on the S2C2 (10,7) run, as the paper
+    reports it.
+    """
+    return _cloud_cell_memo(params["environment"], ctx)
 
 
 @functools.lru_cache(maxsize=8)
-def run_cloud_suite(
-    environment: str, quick: bool = True, seed: int = 0
-) -> CloudRun:
-    """Run every §7.2 strategy in the given environment.
-
-    ``environment`` is ``"low"`` (stable traces) or ``"high"`` (volatile).
-    Cached: Figs 8/9 share the low-environment run and Figs 10/11 the high
-    one.
-    """
+def _cloud_cell_memo(environment: str, ctx: SweepContext) -> dict:
     if environment == "low":
         config = STABLE
     elif environment == "high":
         config = VOLATILE
     else:
         raise ValueError("environment must be 'low' or 'high'")
+    quick = ctx.quick
     rows, cols = (480, 120) if quick else (2400, 600)
     iterations = 4 if quick else 15
-    warmup = 12
-    matrix, _ = make_classification(rows, cols, seed=seed)
-    full_traces = generate_speed_traces(
-        N_WORKERS, warmup + 4 * iterations + 4, config, seed=seed
-    )
-    history, traces = full_traces[:, :warmup], full_traces[:, warmup:]
-    lstm = _train_lstm(config, quick, seed)
+    lstm = _train_lstm(config, quick, ctx.base_seed)
 
-    def predictor_for(n: int) -> LSTMPredictor:
-        # The master has speed history before the measured window starts;
-        # replay it so the recurrent state is warm (cold-start forecasts
-        # would otherwise dominate the short measured runs).
-        predictor = LSTMPredictor(lstm, n)
-        for t in range(warmup):
-            predictor.update(history[:n, t])
-        return predictor
+    histories, traces = [], []
+    for seed in ctx.seeds:
+        full = generate_speed_traces(
+            N_WORKERS, WARMUP + 4 * iterations + 4, config, seed=seed
+        )
+        histories.append(full[:, :WARMUP])
+        traces.append(full[:, WARMUP:])
 
-    total_times: dict[str, float] = {}
-    wasted: dict[str, np.ndarray] = {}
+    total: dict[str, list[float]] = {}
+    wasted: dict[str, list[list[float]]] = {}
 
-    over = run_overdecomposition_lr_like(
-        matrix,
-        TraceSpeeds(traces),
-        predictor_for(N_WORKERS),
-        iterations=iterations,
-    )
-    total_times["over-decomposition"] = over.metrics.total_time
-    wasted["over-decomposition"] = over.metrics.wasted_fraction_of_assigned()
+    # Over-decomposition: per-trial sessions (a zero matrix — the latency
+    # never depends on the numeric payload).
+    matrix = np.zeros((rows, cols))
+    over_total, over_wasted = [], []
+    for t in range(ctx.trials):
+        session = run_overdecomposition_lr_like(
+            matrix,
+            TraceSpeeds(traces[t]),
+            _warmed_predictor(lstm, histories[t], N_WORKERS),
+            iterations=iterations,
+        )
+        over_total.append(session.metrics.total_time)
+        over_wasted.append(session.metrics.wasted_fraction_of_assigned().tolist())
+    total["over-decomposition"] = over_total
+    wasted["over-decomposition"] = over_wasted
 
-    mis_rate = 0.0
+    misprediction: list[float] = [0.0] * ctx.trials
     for n in CODE_VARIANTS:
         for label, scheduler, timeout in (
             (
@@ -126,19 +174,20 @@ def run_cloud_suite(
                 TimeoutPolicy(),
             ),
         ):
-            session = run_coded_lr_like(
-                matrix,
-                lambda n=n: MDSCode(n, MDS_K),
+            metrics = run_coded_lr_like_batch(
+                rows,
+                cols,
+                MDS_K,
                 scheduler,
-                TraceSpeeds(traces[:n]),
-                predictor_for(n),
+                StackedSpeeds([TraceSpeeds(tr[:n]) for tr in traces]),
+                StackedPredictor(
+                    [_warmed_predictor(lstm, h, n) for h in histories]
+                ),
                 iterations=iterations,
                 timeout=timeout,
             )
-            total_times[label] = session.metrics.total_time
-            wasted[label] = session.metrics.wasted_fraction_of_assigned()
+            total[label] = [float(v) for v in metrics.total_time]
+            wasted[label] = metrics.wasted_fraction_of_assigned().tolist()
             if label == f"s2c2-{N_WORKERS}-{MDS_K}":
-                mis_rate = session.metrics.misprediction_rate()
-    return CloudRun(
-        total_times=total_times, wasted=wasted, misprediction_rate=mis_rate
-    )
+                misprediction = [float(v) for v in metrics.misprediction_rate()]
+    return {"total": total, "wasted": wasted, "misprediction": misprediction}

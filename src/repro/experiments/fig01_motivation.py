@@ -8,21 +8,24 @@ stragglers.  Shapes to reproduce:
 * (12,10)-MDS is flat through 2 stragglers then blows up;
 * (12,9)-MDS is flat through 3 stragglers but pays a higher baseline
   (each worker computes S/9 instead of S/10).
+
+Runs as a strategy × straggler-count sweep; coded cells simulate all
+trials at once through the batched latency engine, the uncoded baseline
+replays its speculation timeline per trial.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.apps.datasets import make_classification
-from repro.cluster.speed_models import ControlledSpeeds
-from repro.coding.mds import MDSCode
+from repro.cluster.speed_models import ControlledSpeeds, StackedSpeeds
 from repro.experiments.harness import (
     ExperimentResult,
-    run_coded_lr_like,
+    run_coded_lr_like_batch,
     run_replicated_lr_like,
 )
-from repro.prediction.predictor import LastValuePredictor
+from repro.experiments.sweep import SweepContext, SweepRunner, SweepSpec
+from repro.prediction.predictor import LastValuePredictor, StackedPredictor
 from repro.scheduling.replication import ReplicaPlacement, SpeculationConfig
 from repro.scheduling.static import StaticCodedScheduler
 
@@ -30,6 +33,7 @@ __all__ = ["run", "main"]
 
 N_WORKERS = 12
 STRAGGLER_COUNTS = (0, 1, 2, 3)
+STRATEGIES = ("uncoded-3rep", "mds-12-10", "mds-12-9")
 
 
 def _speeds(
@@ -45,47 +49,80 @@ def _speeds(
     )
 
 
-def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
-    """Reproduce Fig 1's series; values normalised to uncoded @ 0 stragglers."""
-    rows, cols = (480, 120) if quick else (2400, 600)
-    iterations = 5 if quick else 15
-    matrix, _ = make_classification(rows, cols, seed=seed)
+def _cell(params: dict, ctx: SweepContext) -> list[float]:
+    """One sweep cell: per-trial total LR time of one (strategy, count)."""
+    strategy = params["strategy"]
+    s = params["stragglers"]
+    rows, cols = (480, 120) if ctx.quick else (2400, 600)
+    iterations = 5 if ctx.quick else 15
+    if strategy == "uncoded-3rep":
+        # Fig 1's uncoded baseline is classic strict-locality Hadoop: no
+        # data movement for speculative copies.  At r = 3 stragglers we
+        # place them adversarially on all three replica holders of one
+        # partition — the paper's "all the nodes with replicas are also
+        # stragglers" worst case.  The latency never depends on the matrix
+        # values, so the baseline runs on a zero matrix of the right shape.
+        strict = SpeculationConfig(allow_data_movement=False)
+        placement = ReplicaPlacement(N_WORKERS, strict.replication, seed=0)
+        ids = placement.holders(0) if s == strict.replication else None
+        matrix = np.zeros((rows, cols))
+        return [
+            run_replicated_lr_like(
+                matrix,
+                _speeds(s, seed, ids),
+                LastValuePredictor(N_WORKERS),
+                iterations=iterations,
+                config=strict,
+            ).metrics.total_time
+            for seed in ctx.seeds
+        ]
+    k = {"mds-12-10": 10, "mds-12-9": 9}[strategy]
+    metrics = run_coded_lr_like_batch(
+        rows,
+        cols,
+        k,
+        StaticCodedScheduler(coverage=k, num_chunks=10_000),
+        StackedSpeeds([_speeds(s, seed) for seed in ctx.seeds]),
+        StackedPredictor([LastValuePredictor(N_WORKERS) for _ in ctx.seeds]),
+        iterations=iterations,
+    )
+    return [float(v) for v in metrics.total_time]
+
+
+def run(
+    quick: bool = True,
+    seed: int = 0,
+    trials: int = 1,
+    runner: SweepRunner | None = None,
+) -> ExperimentResult:
+    """Reproduce Fig 1's series; values normalised to uncoded @ 0 stragglers.
+
+    With ``trials > 1``, each cell is a Monte-Carlo batch over deterministic
+    per-trial seeds; ratios are taken per trial (paired speed draws) and
+    then averaged.
+    """
+    spec = SweepSpec(
+        name="fig01",
+        cell=_cell,
+        axes=(("strategy", STRATEGIES), ("stragglers", STRAGGLER_COUNTS)),
+        trials=trials,
+        base_seed=seed,
+        quick=quick,
+    )
+    swept = (runner or SweepRunner()).run(spec)
     result = ExperimentResult(
         name="fig01",
         description="Normalized LR computation latency vs straggler count",
         columns=("stragglers", "uncoded-3rep", "mds-12-10", "mds-12-9"),
     )
-    raw: dict[tuple[str, int], float] = {}
-    # Fig 1's uncoded baseline is classic strict-locality Hadoop: no data
-    # movement for speculative copies.  At r = 3 stragglers we place them
-    # adversarially on all three replica holders of one partition — the
-    # paper's "all the nodes with replicas are also stragglers" worst case.
-    strict = SpeculationConfig(allow_data_movement=False)
-    placement = ReplicaPlacement(N_WORKERS, strict.replication, seed=0)
-    for s in STRAGGLER_COUNTS:
-        ids = placement.holders(0) if s == strict.replication else None
-        rep = run_replicated_lr_like(
-            matrix, _speeds(s, seed, ids), LastValuePredictor(N_WORKERS),
-            iterations=iterations, config=strict,
-        )
-        raw[("uncoded", s)] = rep.metrics.total_time
-        for k in (10, 9):
-            coded = run_coded_lr_like(
-                matrix,
-                lambda k=k: MDSCode(N_WORKERS, k),
-                StaticCodedScheduler(coverage=k, num_chunks=10_000),
-                _speeds(s, seed),
-                LastValuePredictor(N_WORKERS),
-                iterations=iterations,
-            )
-            raw[(f"mds{k}", s)] = coded.metrics.total_time
-    base = raw[("uncoded", 0)]
+    base = np.asarray(swept.get(strategy="uncoded-3rep", stragglers=0))
     for s in STRAGGLER_COUNTS:
         result.add_row(
             f"{s} straggler{'s' if s != 1 else ''}",
-            raw[("uncoded", s)] / base,
-            raw[("mds10", s)] / base,
-            raw[("mds9", s)] / base,
+            *(
+                float(np.mean(np.asarray(swept.get(strategy=st, stragglers=s)) / base))
+                for st in STRATEGIES
+            ),
         )
     result.notes = (
         "expected shape: uncoded spikes at 3 stragglers; (12,10) spikes past 2; "

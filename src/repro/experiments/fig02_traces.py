@@ -9,6 +9,9 @@ We regenerate the figure's statistics from the synthetic trace generator
 (the paper's raw measurements are not public): per-node mean/min/max speed
 and the mean length of ±10% regimes — which must be ≥ ~10 samples for the
 stable preset, reproducing the observation the whole paper builds on.
+
+Runs as a single-cell sweep; with ``trials > 1`` the statistics are
+averaged over independently seeded trace generations.
 """
 
 from __future__ import annotations
@@ -16,6 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.experiments.harness import ExperimentResult
+from repro.experiments.sweep import SweepContext, SweepRunner, SweepSpec
 from repro.prediction.traces import MEASURED, generate_speed_traces, regime_lengths
 
 __all__ = ["run", "main"]
@@ -24,14 +28,49 @@ N_NODES = 100
 REPRESENTATIVE = (0, 7, 42, 99)
 
 
-def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+def _cell(params: dict, ctx: SweepContext) -> dict:
+    """Per-trial trace statistics for the representative nodes."""
+    length = 200 if ctx.quick else 1000
+    per_node: dict[str, list[list[float]]] = {str(n): [] for n in REPRESENTATIVE}
+    medians = []
+    for seed in ctx.seeds:
+        traces = generate_speed_traces(N_NODES, length, MEASURED, seed=seed)
+        for node in REPRESENTATIVE:
+            trace = traces[node]
+            per_node[str(node)].append(
+                [
+                    float(trace.mean()),
+                    float(trace.min()),
+                    float(trace.max()),
+                    float(regime_lengths(trace).mean()),
+                ]
+            )
+        medians.append(
+            float(np.median([regime_lengths(t).mean() for t in traces]))
+        )
+    return {"nodes": per_node, "median_regime": medians}
+
+
+def run(
+    quick: bool = True,
+    seed: int = 0,
+    trials: int = 1,
+    runner: SweepRunner | None = None,
+) -> ExperimentResult:
     """Regenerate Fig 2's trace statistics for 4 representative nodes.
 
     Uses the ``MEASURED`` preset, calibrated so the mean ±10% regime
     length lands near the paper's ~10 samples.
     """
-    length = 200 if quick else 1000
-    traces = generate_speed_traces(N_NODES, length, MEASURED, seed=seed)
+    spec = SweepSpec(
+        name="fig02",
+        cell=_cell,
+        axes=(("preset", ("measured",)),),
+        trials=trials,
+        base_seed=seed,
+        quick=quick,
+    )
+    stats = (runner or SweepRunner()).run(spec).get(preset="measured")
     result = ExperimentResult(
         name="fig02",
         description="Cloud speed traces: per-node stats and regime lengths",
@@ -44,17 +83,9 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
         ),
     )
     for node in REPRESENTATIVE:
-        trace = traces[node]
-        result.add_row(
-            f"node{node}",
-            float(trace.mean()),
-            float(trace.min()),
-            float(trace.max()),
-            float(regime_lengths(trace).mean()),
-        )
-    all_mean_regime = float(
-        np.median([regime_lengths(t).mean() for t in traces])
-    )
+        per_trial = np.asarray(stats["nodes"][str(node)])  # (trials, 4)
+        result.add_row(f"node{node}", *(float(v) for v in per_trial.mean(axis=0)))
+    all_mean_regime = float(np.mean(stats["median_regime"]))
     result.notes = (
         f"median over {N_NODES} nodes of mean ±10% regime length = "
         f"{all_mean_regime:.1f} samples (paper: ~10)"

@@ -20,6 +20,7 @@ import numpy as np
 from repro._util import largest_remainder_round
 from repro.cluster.speed_models import TraceSpeeds
 from repro.experiments.harness import ExperimentResult
+from repro.experiments.sweep import SweepContext, SweepRunner, SweepSpec
 from repro.prediction.traces import VOLATILE, generate_speed_traces
 from repro.runtime.metrics import StorageTracker
 
@@ -61,17 +62,43 @@ def uncoded_storage_curve(
     return tracker.history()
 
 
-def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+def _cell(params: dict, ctx: SweepContext) -> dict:
+    """Per-trial storage curves for one allocator locality setting."""
+    iterations = 90 if ctx.quick else 270
+    total_rows = 1200
+    curves = []
+    for seed in ctx.seeds:
+        traces = generate_speed_traces(N_WORKERS, iterations, VOLATILE, seed=seed)
+        curves.append(
+            uncoded_storage_curve(
+                TraceSpeeds(traces),
+                total_rows,
+                iterations,
+                locality=params["locality"],
+            ).tolist()
+        )
+    return {"curves": curves}
+
+
+def run(
+    quick: bool = True,
+    seed: int = 0,
+    trials: int = 1,
+    runner: SweepRunner | None = None,
+) -> ExperimentResult:
     """Reproduce Fig 3: mean storage fraction per node over GD iterations."""
     iterations = 90 if quick else 270
-    total_rows = 1200
-    traces = generate_speed_traces(N_WORKERS, iterations, VOLATILE, seed=seed)
-    optimal = uncoded_storage_curve(
-        TraceSpeeds(traces), total_rows, iterations, locality=False
+    spec = SweepSpec(
+        name="fig03",
+        cell=_cell,
+        axes=(("locality", (False, True)),),
+        trials=trials,
+        base_seed=seed,
+        quick=quick,
     )
-    friendly = uncoded_storage_curve(
-        TraceSpeeds(traces), total_rows, iterations, locality=True
-    )
+    swept = (runner or SweepRunner()).run(spec)
+    optimal = np.asarray(swept.get(locality=False)["curves"]).mean(axis=0)
+    friendly = np.asarray(swept.get(locality=True)["curves"]).mean(axis=0)
     s2c2_fraction = 1.0 / MDS_K  # encoded partition size, constant
     result = ExperimentResult(
         name="fig03",

@@ -14,19 +14,27 @@ Shapes to reproduce: S2C2 lowest everywhere and flat through 6 stragglers;
 general ≤ basic (it squeezes the ±20% slack too); (12,10) collapses past
 2 stragglers; (12,6) flat but with a high baseline; uncoded degrades
 steadily and super-linearly once data movement enters the critical path.
+
+Runs as a strategy × straggler-count sweep; coded cells simulate all
+trials at once through the batched latency engine.
 """
 
 from __future__ import annotations
 
-from repro.apps.datasets import make_classification
-from repro.cluster.speed_models import ControlledSpeeds
-from repro.coding.mds import MDSCode
+import numpy as np
+
+from repro.cluster.speed_models import ControlledSpeeds, StackedSpeeds
 from repro.experiments.harness import (
     ExperimentResult,
-    run_coded_lr_like,
+    run_coded_lr_like_batch,
     run_replicated_lr_like,
 )
-from repro.prediction.predictor import LastValuePredictor, OraclePredictor
+from repro.experiments.sweep import SweepContext, SweepRunner, SweepSpec
+from repro.prediction.predictor import (
+    LastValuePredictor,
+    OraclePredictor,
+    StackedPredictor,
+)
 from repro.scheduling.s2c2 import BasicS2C2Scheduler, GeneralS2C2Scheduler
 from repro.scheduling.static import StaticCodedScheduler
 from repro.scheduling.timeout import TimeoutPolicy
@@ -50,60 +58,85 @@ def _speeds(stragglers: int, seed: int) -> ControlledSpeeds:
     )
 
 
-def _run_strategy(
-    strategy: str, matrix, stragglers: int, iterations: int, seed: int
-) -> float:
-    speed_model = _speeds(stragglers, seed)
-    if strategy == "uncoded-3rep":
-        session = run_replicated_lr_like(
-            matrix, speed_model, LastValuePredictor(N_WORKERS),
-            iterations=iterations,
-        )
-        return session.metrics.total_time
-    oracle = OraclePredictor(speed_model=_speeds(stragglers, seed))
+def _coded_scheduler(strategy: str):
     if strategy == "mds-12-10":
-        scheduler, k = StaticCodedScheduler(coverage=10, num_chunks=10_000), 10
-    elif strategy == "mds-12-6":
-        scheduler, k = StaticCodedScheduler(coverage=6, num_chunks=10_000), 6
-    elif strategy == "s2c2-basic-12-6":
-        scheduler, k = BasicS2C2Scheduler(coverage=6, num_chunks=10_000), 6
-    elif strategy == "s2c2-general-12-6":
-        scheduler, k = GeneralS2C2Scheduler(coverage=6, num_chunks=10_000), 6
-    else:
-        raise ValueError(f"unknown strategy {strategy!r}")
-    session = run_coded_lr_like(
-        matrix,
-        lambda: MDSCode(N_WORKERS, k),
+        return StaticCodedScheduler(coverage=10, num_chunks=10_000), 10
+    if strategy == "mds-12-6":
+        return StaticCodedScheduler(coverage=6, num_chunks=10_000), 6
+    if strategy == "s2c2-basic-12-6":
+        return BasicS2C2Scheduler(coverage=6, num_chunks=10_000), 6
+    if strategy == "s2c2-general-12-6":
+        return GeneralS2C2Scheduler(coverage=6, num_chunks=10_000), 6
+    raise ValueError(f"unknown strategy {strategy!r}")
+
+
+def _cell(params: dict, ctx: SweepContext) -> list[float]:
+    """One sweep cell: per-trial total LR time of one (strategy, count)."""
+    strategy = params["strategy"]
+    s = params["stragglers"]
+    rows, cols = (480, 120) if ctx.quick else (2400, 600)
+    iterations = 4 if ctx.quick else 15
+    if strategy == "uncoded-3rep":
+        matrix = np.zeros((rows, cols))  # latency is value-independent
+        return [
+            run_replicated_lr_like(
+                matrix,
+                _speeds(s, seed),
+                LastValuePredictor(N_WORKERS),
+                iterations=iterations,
+            ).metrics.total_time
+            for seed in ctx.seeds
+        ]
+    scheduler, k = _coded_scheduler(strategy)
+    metrics = run_coded_lr_like_batch(
+        rows,
+        cols,
+        k,
         scheduler,
-        speed_model,
-        oracle,
+        StackedSpeeds([_speeds(s, seed) for seed in ctx.seeds]),
+        StackedPredictor(
+            [OraclePredictor(speed_model=_speeds(s, seed)) for seed in ctx.seeds]
+        ),
         iterations=iterations,
         timeout=TimeoutPolicy(),
     )
-    return session.metrics.total_time
+    return [float(v) for v in metrics.total_time]
 
 
-def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
-    """Reproduce Fig 6's series; normalised to uncoded @ 0 stragglers."""
-    rows, cols = (480, 120) if quick else (2400, 600)
-    iterations = 4 if quick else 15
+def run(
+    quick: bool = True,
+    seed: int = 0,
+    trials: int = 1,
+    runner: SweepRunner | None = None,
+) -> ExperimentResult:
+    """Reproduce Fig 6's series; normalised to uncoded @ 0 stragglers.
+
+    Ratios are taken per trial against the uncoded baseline facing the
+    identical speed draws, then averaged over trials.
+    """
     counts = STRAGGLER_COUNTS[:4] if quick else STRAGGLER_COUNTS
-    matrix, _ = make_classification(rows, cols, seed=seed)
+    spec = SweepSpec(
+        name="fig06",
+        cell=_cell,
+        axes=(("strategy", STRATEGIES), ("stragglers", counts)),
+        trials=trials,
+        base_seed=seed,
+        quick=quick,
+    )
+    swept = (runner or SweepRunner()).run(spec)
     result = ExperimentResult(
         name="fig06",
         description="LR relative execution time, 5 strategies vs stragglers",
         columns=("stragglers",) + STRATEGIES,
     )
-    raw = {
-        (strategy, s): _run_strategy(strategy, matrix, s, iterations, seed)
-        for s in counts
-        for strategy in STRATEGIES
-    }
-    base = raw[("uncoded-3rep", 0)]
+    base = np.asarray(swept.get(strategy="uncoded-3rep", stragglers=0))
     for s in counts:
         result.add_row(
             f"{s}",
-            *(raw[(strategy, s)] / base for strategy in STRATEGIES),
+            *(
+                float(np.mean(np.asarray(swept.get(strategy=st, stragglers=s)) / base))
+                for st in STRATEGIES
+            ),
         )
     result.notes = (
         "expected: S2C2 flat & lowest; general <= basic; (12,10) collapses "

@@ -4,25 +4,32 @@ Paper setup (§7.1.2): the ranking workload is power iteration — one
 matrix–vector product with the (square) transition matrix per iteration —
 on the same 12-worker controlled cluster as Fig 6.  Same expected shapes,
 with general S2C2 improving over basic in every scenario.
+
+Runs as a strategy × straggler-count sweep; coded cells simulate all
+trials at once through the batched latency engine (power iteration with
+``tol=0`` performs exactly ``iterations`` mat-vecs, so the timeline does
+not depend on the ranks themselves).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.apps.datasets import make_web_graph
-from repro.apps.pagerank import PowerIterationPageRank
-from repro.cluster.speed_models import ControlledSpeeds
-from repro.coding.mds import MDSCode
+from repro.cluster.speed_models import ControlledSpeeds, StackedSpeeds
+from repro.experiments.fig06_lr import _coded_scheduler
 from repro.experiments.harness import (
     ExperimentResult,
     controlled_cost,
     controlled_network,
 )
-from repro.prediction.predictor import LastValuePredictor, OraclePredictor
-from repro.runtime.session import CodedSession, ReplicationSession
-from repro.scheduling.s2c2 import BasicS2C2Scheduler, GeneralS2C2Scheduler
-from repro.scheduling.static import StaticCodedScheduler
+from repro.experiments.sweep import SweepContext, SweepRunner, SweepSpec
+from repro.prediction.predictor import (
+    LastValuePredictor,
+    OraclePredictor,
+    StackedPredictor,
+)
+from repro.runtime.batch import BatchCodedRunner
+from repro.runtime.session import ReplicationSession
 from repro.scheduling.timeout import TimeoutPolicy
 
 __all__ = ["run", "main", "STRATEGIES"]
@@ -44,65 +51,73 @@ def _speeds(stragglers: int, seed: int) -> ControlledSpeeds:
     )
 
 
-def _run_strategy(
-    strategy: str, matrix: np.ndarray, stragglers: int, iterations: int, seed: int
-) -> float:
-    n_pages = matrix.shape[0]
-    speed_model = _speeds(stragglers, seed)
+def _cell(params: dict, ctx: SweepContext) -> list[float]:
+    """One sweep cell: per-trial total PageRank time of one grid point."""
+    strategy = params["strategy"]
+    s = params["stragglers"]
+    n_pages = 480 if ctx.quick else 2400
+    iterations = 4 if ctx.quick else 15
     if strategy == "uncoded-3rep":
-        session = ReplicationSession(
-            speed_model=speed_model,
-            predictor=LastValuePredictor(N_WORKERS),
-            network=controlled_network(),
-            cost=controlled_cost(),
-        )
-        session.register_matvec("M", matrix)
-    else:
-        if strategy == "mds-12-10":
-            scheduler, k = StaticCodedScheduler(coverage=10, num_chunks=10_000), 10
-        elif strategy == "mds-12-6":
-            scheduler, k = StaticCodedScheduler(coverage=6, num_chunks=10_000), 6
-        elif strategy == "s2c2-basic-12-6":
-            scheduler, k = BasicS2C2Scheduler(coverage=6, num_chunks=10_000), 6
-        elif strategy == "s2c2-general-12-6":
-            scheduler, k = GeneralS2C2Scheduler(coverage=6, num_chunks=10_000), 6
-        else:
-            raise ValueError(f"unknown strategy {strategy!r}")
-        session = CodedSession(
-            speed_model=speed_model,
-            predictor=OraclePredictor(speed_model=_speeds(stragglers, seed)),
-            network=controlled_network(),
-            cost=controlled_cost(),
-            timeout=TimeoutPolicy(),
-        )
-        session.register_matvec("M", matrix, MDSCode(N_WORKERS, k), scheduler)
-    pagerank = PowerIterationPageRank(
-        lambda v: session.matvec("M", v), n_pages, damping=0.85
+        totals = []
+        for seed in ctx.seeds:
+            session = ReplicationSession(
+                speed_model=_speeds(s, seed),
+                predictor=LastValuePredictor(N_WORKERS),
+                network=controlled_network(),
+                cost=controlled_cost(),
+            )
+            session.register_matvec("M", np.zeros((n_pages, n_pages)))
+            x = np.zeros(n_pages)
+            for _ in range(iterations):
+                session.matvec("M", x)
+            totals.append(session.metrics.total_time)
+        return totals
+    scheduler, k = _coded_scheduler(strategy)  # same strategy set as Fig 6
+    batch = BatchCodedRunner(
+        speed_model=StackedSpeeds([_speeds(s, seed) for seed in ctx.seeds]),
+        predictor=StackedPredictor(
+            [OraclePredictor(speed_model=_speeds(s, seed)) for seed in ctx.seeds]
+        ),
+        network=controlled_network(),
+        cost=controlled_cost(),
+        timeout=TimeoutPolicy(),
     )
-    pagerank.run(max_iterations=iterations, tol=0.0)
-    return session.metrics.total_time
+    batch.register_matvec("M", n_pages, n_pages, k, scheduler)
+    for _ in range(iterations):
+        batch.matvec("M")
+    return [float(v) for v in batch.metrics.total_time]
 
 
-def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+def run(
+    quick: bool = True,
+    seed: int = 0,
+    trials: int = 1,
+    runner: SweepRunner | None = None,
+) -> ExperimentResult:
     """Reproduce Fig 7's series; normalised to uncoded @ 0 stragglers."""
-    n_pages = 480 if quick else 2400
-    iterations = 4 if quick else 15
     counts = STRAGGLER_COUNTS[:4] if quick else STRAGGLER_COUNTS
-    matrix, _ = make_web_graph(n_pages, seed=seed)
+    spec = SweepSpec(
+        name="fig07",
+        cell=_cell,
+        axes=(("strategy", STRATEGIES), ("stragglers", counts)),
+        trials=trials,
+        base_seed=seed,
+        quick=quick,
+    )
+    swept = (runner or SweepRunner()).run(spec)
     result = ExperimentResult(
         name="fig07",
         description="PageRank relative execution time, 5 strategies vs stragglers",
         columns=("stragglers",) + STRATEGIES,
     )
-    raw = {
-        (strategy, s): _run_strategy(strategy, matrix, s, iterations, seed)
-        for s in counts
-        for strategy in STRATEGIES
-    }
-    base = raw[("uncoded-3rep", 0)]
+    base = np.asarray(swept.get(strategy="uncoded-3rep", stragglers=0))
     for s in counts:
         result.add_row(
-            f"{s}", *(raw[(strategy, s)] / base for strategy in STRATEGIES)
+            f"{s}",
+            *(
+                float(np.mean(np.asarray(swept.get(strategy=st, stragglers=s)) / base))
+                for st in STRATEGIES
+            ),
         )
     result.notes = "same expected shape as Fig 6 (PageRank instead of LR)"
     return result

@@ -10,17 +10,25 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.experiments.cloud_common import N_WORKERS, run_cloud_suite
+from repro.experiments.cloud_common import N_WORKERS, run_environment
 from repro.experiments.harness import ExperimentResult
+from repro.experiments.sweep import SweepRunner
 
 __all__ = ["run", "main"]
 
 
-def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+def run(
+    quick: bool = True,
+    seed: int = 0,
+    trials: int = 1,
+    runner: SweepRunner | None = None,
+) -> ExperimentResult:
     """Reproduce Fig 11: wasted-computation fraction per worker at (10,7)."""
-    cloud = run_cloud_suite("high", quick=quick, seed=seed)
-    mds = cloud.wasted["mds-10-7"]
-    s2c2 = cloud.wasted["s2c2-10-7"]
+    cloud = run_environment(
+        "high", quick=quick, seed=seed, trials=trials, runner=runner
+    )
+    mds = np.asarray(cloud["wasted"]["mds-10-7"]).mean(axis=0)
+    s2c2 = np.asarray(cloud["wasted"]["s2c2-10-7"]).mean(axis=0)
     result = ExperimentResult(
         name="fig11",
         description="Per-worker wasted computation %, high mis-prediction, (10,7)",

@@ -4,15 +4,19 @@ Paper setup (§7.2.4): 50 workers + 1 master running SVM gradient descent
 with a (50,40)-MDS code.  Paper values (normalised to S2C2): MDS = 1.25
 under low mis-prediction (the full 50/40 = 1.25 bound is achieved) and
 1.12 under high mis-prediction.
+
+Runs as an environment × strategy sweep; each cell simulates all trials
+at once through the batched latency engine.
 """
 
 from __future__ import annotations
 
-from repro.apps.datasets import make_classification
-from repro.cluster.speed_models import TraceSpeeds
-from repro.coding.mds import MDSCode
-from repro.experiments.harness import ExperimentResult, run_coded_lr_like
-from repro.prediction.predictor import StalePredictor
+import numpy as np
+
+from repro.cluster.speed_models import BatchTraceSpeeds, TraceSpeeds
+from repro.experiments.harness import ExperimentResult, run_coded_lr_like_batch
+from repro.experiments.sweep import SweepContext, SweepRunner, SweepSpec
+from repro.prediction.predictor import StackedPredictor, StalePredictor
 from repro.prediction.traces import BURSTY, STABLE, generate_speed_traces
 from repro.scheduling.s2c2 import GeneralS2C2Scheduler
 from repro.scheduling.static import StaticCodedScheduler
@@ -24,51 +28,72 @@ N_WORKERS = 50
 MDS_K = 40
 
 
-def _run(strategy: str, environment: str, matrix, iterations: int, seed: int) -> float:
+def _cell(params: dict, ctx: SweepContext) -> list[float]:
+    """Per-trial total SVM time of one (environment, strategy) cell."""
     # BURSTY for the high environment: mostly-fast nodes with transient
     # throttling (shared instances).  VOLATILE's deep sustained dips make
     # the static baseline collapse far beyond the paper's measured 1.12.
-    config = STABLE if environment == "low" else BURSTY
-    miss = 0.0 if environment == "low" else 0.18
-    traces = generate_speed_traces(
-        N_WORKERS, 2 * iterations + 2, config, seed=seed
-    )
-    if strategy == "s2c2":
+    config = STABLE if params["environment"] == "low" else BURSTY
+    miss = 0.0 if params["environment"] == "low" else 0.18
+    # Square matrices keep both the A and Aᵀ operators fine-grained
+    # (Aᵀ of a wide matrix would have too few rows per (50,40) block).
+    size = 1200 if ctx.quick else 4000
+    iterations = 3 if ctx.quick else 15
+    if params["strategy"] == "s2c2":
         scheduler = GeneralS2C2Scheduler(coverage=MDS_K, num_chunks=10_000)
         timeout = TimeoutPolicy()
     else:
         scheduler = StaticCodedScheduler(coverage=MDS_K, num_chunks=10_000)
         timeout = None
-    session = run_coded_lr_like(
-        matrix,
-        lambda: MDSCode(N_WORKERS, MDS_K),
+    traces = [
+        generate_speed_traces(N_WORKERS, 2 * iterations + 2, config, seed=seed)
+        for seed in ctx.seeds
+    ]
+    metrics = run_coded_lr_like_batch(
+        size,
+        size,
+        MDS_K,
         scheduler,
-        TraceSpeeds(traces),
-        StalePredictor(
-            speed_model=TraceSpeeds(traces), miss_rate=miss, seed=seed
+        BatchTraceSpeeds.from_traces(traces),
+        StackedPredictor(
+            [
+                StalePredictor(
+                    speed_model=TraceSpeeds(traces[t]), miss_rate=miss, seed=seed
+                )
+                for t, seed in enumerate(ctx.seeds)
+            ]
         ),
         iterations=iterations,
         timeout=timeout,
     )
-    return session.metrics.total_time
+    return [float(v) for v in metrics.total_time]
 
 
-def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+def run(
+    quick: bool = True,
+    seed: int = 0,
+    trials: int = 1,
+    runner: SweepRunner | None = None,
+) -> ExperimentResult:
     """Reproduce Fig 13: (50,40)-MDS vs S2C2 in both environments."""
-    # Square matrices keep both the A and Aᵀ operators fine-grained
-    # (Aᵀ of a wide matrix would have too few rows per (50,40) block).
-    rows, cols = (1200, 1200) if quick else (4000, 4000)
-    iterations = 3 if quick else 15
-    matrix, _ = make_classification(rows, cols, seed=seed)
+    spec = SweepSpec(
+        name="fig13",
+        cell=_cell,
+        axes=(("environment", ("low", "high")), ("strategy", ("static", "s2c2"))),
+        trials=trials,
+        base_seed=seed,
+        quick=quick,
+    )
+    swept = (runner or SweepRunner()).run(spec)
     result = ExperimentResult(
         name="fig13",
         description="51-node scalability: (50,40)-MDS vs S2C2 (×S2C2)",
         columns=("environment", "mds-50-40", "s2c2-50-40"),
     )
     for environment in ("low", "high"):
-        mds = _run("static", environment, matrix, iterations, seed)
-        s2c2 = _run("s2c2", environment, matrix, iterations, seed)
-        result.add_row(environment, mds / s2c2, 1.0)
+        mds = np.asarray(swept.get(environment=environment, strategy="static"))
+        s2c2 = np.asarray(swept.get(environment=environment, strategy="s2c2"))
+        result.add_row(environment, float(np.mean(mds / s2c2)), 1.0)
     result.notes = "paper: 1.25 (low, the full 50/40 bound) and 1.12 (high)"
     return result
 

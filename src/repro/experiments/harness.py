@@ -14,8 +14,9 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.cluster.network import CostModel, NetworkModel
-from repro.cluster.speed_models import SpeedModel
-from repro.prediction.predictor import OnlinePredictor
+from repro.cluster.speed_models import BatchSpeedModel, SpeedModel
+from repro.prediction.predictor import BatchPredictor, OnlinePredictor
+from repro.runtime.batch import BatchCodedRunner, BatchRunMetrics
 from repro.runtime.session import (
     CodedSession,
     OverDecompositionSession,
@@ -29,6 +30,7 @@ __all__ = [
     "controlled_network",
     "controlled_cost",
     "run_coded_lr_like",
+    "run_coded_lr_like_batch",
     "run_replicated_lr_like",
     "run_overdecomposition_lr_like",
 ]
@@ -155,6 +157,39 @@ def run_coded_lr_like(
     session.register_matvec("At", matrix.T, code_factory(), scheduler)
     _lr_like_loop(session, matrix.shape[1], iterations, np.random.default_rng(seed))
     return session
+
+
+def run_coded_lr_like_batch(
+    n_rows: int,
+    n_cols: int,
+    k: int,
+    scheduler: Scheduler,
+    speed_model: BatchSpeedModel,
+    predictor: BatchPredictor,
+    iterations: int = 15,
+    timeout: TimeoutPolicy | None = None,
+) -> BatchRunMetrics:
+    """Latency-only twin of :func:`run_coded_lr_like` for a trial batch.
+
+    Plays the same 'A then Aᵀ' round pattern on an ``(n_rows, n_cols)``
+    matrix geometry encoded at threshold ``k`` — no matrices are built or
+    encoded, because the latency/waste metrics the figures report depend
+    only on plans and speeds.  Trial ``t`` reproduces a single-trial
+    session seeded the same way, bit for bit.
+    """
+    runner = BatchCodedRunner(
+        speed_model=speed_model,
+        predictor=predictor,
+        network=controlled_network(),
+        cost=controlled_cost(),
+        timeout=timeout,
+    )
+    runner.register_matvec("A", n_rows, n_cols, k, scheduler)
+    runner.register_matvec("At", n_cols, n_rows, k, scheduler)
+    for _ in range(iterations):
+        runner.matvec("A")
+        runner.matvec("At")
+    return runner.metrics
 
 
 def run_replicated_lr_like(

@@ -9,6 +9,9 @@ Paper findings on the measured droplet traces (80:20 train/test split):
 We regenerate the comparison on the ``MEASURED`` trace preset, adding the
 last-value predictor as the naive floor.  The shape assertions are: AR(1)
 is the best ARIMA, and the LSTM is at least as good as AR(1).
+
+Runs as a single-cell sweep; with ``trials > 1`` the MAPEs are averaged
+over independently seeded trace generations (and model trainings).
 """
 
 from __future__ import annotations
@@ -16,41 +19,60 @@ from __future__ import annotations
 import numpy as np
 
 from repro.experiments.harness import ExperimentResult
+from repro.experiments.sweep import SweepContext, SweepRunner, SweepSpec
 from repro.prediction.arima import ARIMA111Model, ARModel
-from repro.prediction.lstm import LSTMSpeedModel, mape
+from repro.prediction.lstm import LSTMSpeedModel
 from repro.prediction.traces import MEASURED, generate_speed_traces
 
 __all__ = ["run", "main"]
 
+MODELS = ("last-value", "arima-1-0-0", "arima-2-0-0", "arima-1-1-1", "lstm-h4")
 
-def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+
+def _cell(params: dict, ctx: SweepContext) -> dict:
+    """Per-trial test MAPE of every §6.1 forecasting model."""
+    n_nodes = 40 if ctx.quick else 100
+    length = 250 if ctx.quick else 1000
+    mapes: dict[str, list[float]] = {name: [] for name in MODELS}
+    for seed in ctx.seeds:
+        traces = generate_speed_traces(n_nodes, length, MEASURED, seed=seed)
+        split = int(0.8 * n_nodes)  # the paper's 80:20 split
+        train, test = traces[:split], traces[split:]
+        mapes["last-value"].append(
+            float(np.mean(np.abs(test[:, :-1] - test[:, 1:]) / test[:, 1:]))
+        )
+        mapes["arima-1-0-0"].append(ARModel(p=1).fit(train).evaluate_mape(test))
+        mapes["arima-2-0-0"].append(ARModel(p=2).fit(train).evaluate_mape(test))
+        mapes["arima-1-1-1"].append(ARIMA111Model().fit(train).evaluate_mape(test))
+        lstm_model = LSTMSpeedModel(hidden=4, seed=seed)
+        lstm_model.fit(train, epochs=400 if ctx.quick else 800, window=40)
+        mapes["lstm-h4"].append(lstm_model.evaluate_mape(test))
+    return mapes
+
+
+def run(
+    quick: bool = True,
+    seed: int = 0,
+    trials: int = 1,
+    runner: SweepRunner | None = None,
+) -> ExperimentResult:
     """Reproduce the §6.1 model comparison: test MAPE per model."""
-    n_nodes = 40 if quick else 100
-    length = 250 if quick else 1000
-    traces = generate_speed_traces(n_nodes, length, MEASURED, seed=seed)
-    split = int(0.8 * n_nodes)  # the paper's 80:20 split
-    train, test = traces[:split], traces[split:]
-
-    last_value = float(
-        np.mean(np.abs(test[:, :-1] - test[:, 1:]) / test[:, 1:])
+    spec = SweepSpec(
+        name="sec61",
+        cell=_cell,
+        axes=(("preset", ("measured",)),),
+        trials=trials,
+        base_seed=seed,
+        quick=quick,
     )
-    ar1 = ARModel(p=1).fit(train).evaluate_mape(test)
-    ar2 = ARModel(p=2).fit(train).evaluate_mape(test)
-    arima111 = ARIMA111Model().fit(train).evaluate_mape(test)
-    lstm_model = LSTMSpeedModel(hidden=4, seed=seed)
-    lstm_model.fit(train, epochs=400 if quick else 800, window=40)
-    lstm = lstm_model.evaluate_mape(test)
-
+    mapes = (runner or SweepRunner()).run(spec).get(preset="measured")
     result = ExperimentResult(
         name="sec61",
         description="Speed-prediction test MAPE (lower is better)",
         columns=("model", "test-mape"),
     )
-    result.add_row("last-value", last_value)
-    result.add_row("arima-1-0-0", ar1)
-    result.add_row("arima-2-0-0", ar2)
-    result.add_row("arima-1-1-1", arima111)
-    result.add_row("lstm-h4", lstm)
+    for name in MODELS:
+        result.add_row(name, float(np.mean(mapes[name])))
     result.notes = (
         "paper: LSTM 16.7% MAPE, ~5 points better than ARIMA(1,0,0), which "
         "is the best ARIMA variant"

@@ -1,0 +1,309 @@
+"""Declarative experiment sweeps: grids × trials, run in parallel, cached.
+
+Every figure experiment is a grid of *cells* — (strategy, scenario, …)
+points — each evaluated over one or more seeded Monte-Carlo trials.
+:class:`SweepSpec` declares the grid; :class:`SweepRunner` executes it with
+a ``concurrent.futures`` process pool and an on-disk, content-hash-keyed
+result cache, so re-runs are incremental and ``--jobs N`` parallelises
+across cells while the batched simulators vectorise across trials *within*
+a cell.
+
+Determinism
+-----------
+Trial ``t`` of every cell uses the seed ``base_seed + SEED_STRIDE * t`` —
+deliberately the *same* seed across all cells of a grid, because the
+figures are paired comparisons: every strategy must face the identical
+straggler draws before ratios are taken (and trial 0 reproduces the
+single-trial seeding the original experiment modules used).
+
+Caching
+-------
+A cell's key hashes the cell function's identity, *the source bytes of the
+whole ``repro`` package* (a cell's value depends on the simulators and
+schedulers it calls into, not just its own module), the cell parameters,
+the seeds, the quick flag, and the package version.  Any source edit
+therefore invalidates the cache — correctness over incrementality; the
+incremental wins come from re-runs and grown grids with unchanged code.
+Values are stored as JSON (one file per cell), so cells must return
+JSON-serialisable structures — floats, lists, dicts; numpy scalars and
+arrays are converted on the way in.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import json
+import os
+import sys
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from itertools import product
+from pathlib import Path
+from typing import Any, Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro import __version__
+from repro._util import check_positive_int
+
+__all__ = [
+    "SEED_STRIDE",
+    "SweepContext",
+    "SweepSpec",
+    "SweepResult",
+    "SweepRunner",
+    "default_cache_dir",
+]
+
+#: Gap between per-trial seeds; large enough that nearby base seeds do not
+#: alias each other's trial streams.
+SEED_STRIDE = 1_000_003
+
+
+@dataclass(frozen=True)
+class SweepContext:
+    """Everything a cell needs besides its grid point."""
+
+    quick: bool
+    base_seed: int
+    seeds: tuple[int, ...]
+
+    @property
+    def trials(self) -> int:
+        return len(self.seeds)
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A declarative grid of experiment cells.
+
+    Parameters
+    ----------
+    name:
+        Sweep name (for display; the cache key does not use it).
+    cell:
+        A **module-level** function ``cell(params, ctx)`` (it must pickle
+        for the process pool) mapping one grid point plus a
+        :class:`SweepContext` to a JSON-serialisable value — typically a
+        per-trial list, or a dict of per-trial lists.
+    axes:
+        Ordered ``(axis_name, values)`` pairs; the grid is their cartesian
+        product.  A mapping is accepted and normalised.
+    trials:
+        Monte-Carlo trials per cell; seeds are derived deterministically
+        from ``base_seed``.
+    base_seed:
+        Seed of trial 0 (shared by all cells — see the pairing note in the
+        module docstring).
+    quick:
+        Passed through to cells; selects the reduced CI-scale problem
+        sizes.
+    """
+
+    name: str
+    cell: Callable[[dict, SweepContext], Any]
+    axes: tuple[tuple[str, tuple], ...]
+    trials: int = 1
+    base_seed: int = 0
+    quick: bool = True
+
+    def __post_init__(self) -> None:
+        axes = self.axes
+        if isinstance(axes, Mapping):
+            axes = tuple(axes.items())
+        axes = tuple((str(name), tuple(values)) for name, values in axes)
+        for name, values in axes:
+            if not values:
+                raise ValueError(f"axis {name!r} has no values")
+        object.__setattr__(self, "axes", axes)
+        check_positive_int(self.trials, "trials")
+
+    @property
+    def axis_names(self) -> tuple[str, ...]:
+        return tuple(name for name, _values in self.axes)
+
+    def points(self) -> list[dict]:
+        """Every grid point, in row-major axis order."""
+        names = self.axis_names
+        return [
+            dict(zip(names, combo))
+            for combo in product(*(values for _name, values in self.axes))
+        ]
+
+    def context(self) -> SweepContext:
+        """The shared cell context, with deterministic per-trial seeds."""
+        return SweepContext(
+            quick=self.quick,
+            base_seed=self.base_seed,
+            seeds=tuple(
+                self.base_seed + SEED_STRIDE * t for t in range(self.trials)
+            ),
+        )
+
+    def key_of(self, params: dict) -> tuple:
+        """Hashable identity of a grid point (axis order)."""
+        return tuple(params[name] for name in self.axis_names)
+
+
+@dataclass
+class SweepResult:
+    """Cell values of a completed sweep, addressable by grid point."""
+
+    spec: SweepSpec
+    values: dict[tuple, Any]
+    cache_hits: int = 0
+
+    def get(self, **params) -> Any:
+        """Value of the cell at the given grid point."""
+        key = self.spec.key_of(params)
+        try:
+            return self.values[key]
+        except KeyError:
+            raise KeyError(f"no cell at {params!r}") from None
+
+    def points(self) -> list[dict]:
+        return self.spec.points()
+
+
+def default_cache_dir() -> Path:
+    """Cache root: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro/sweeps``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro" / "sweeps"
+
+
+def _jsonable(value: Any) -> Any:
+    """Recursively convert numpy containers/scalars to plain JSON types."""
+    if isinstance(value, np.ndarray):
+        return [_jsonable(v) for v in value.tolist()]
+    if isinstance(value, (np.floating, np.integer, np.bool_)):
+        return value.item()
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+@functools.lru_cache(maxsize=1)
+def _package_source_digest() -> str:
+    """Hash of every ``repro`` source file (the cache invalidation unit).
+
+    A cell's value depends on the simulators, schedulers, and predictors
+    it calls into, so the key must cover the whole package: editing *any*
+    library module invalidates cached results rather than silently
+    serving numbers computed by the old code.
+    """
+    package_root = Path(sys.modules["repro"].__file__).parent
+    digest = hashlib.sha256()
+    for path in sorted(package_root.rglob("*.py")):
+        digest.update(str(path.relative_to(package_root)).encode())
+        digest.update(path.read_bytes())
+    return digest.hexdigest()
+
+
+def _run_cell(
+    cell: Callable[[dict, SweepContext], Any], params: dict, ctx: SweepContext
+) -> Any:
+    """Pool entry point (module-level so it pickles)."""
+    return _jsonable(cell(params, ctx))
+
+
+class SweepRunner:
+    """Executes :class:`SweepSpec` grids with parallelism and caching.
+
+    Parameters
+    ----------
+    jobs:
+        Process-pool width; ``1`` runs cells inline (no pool, easier
+        debugging).
+    cache_dir:
+        Directory for the on-disk cell cache; ``None`` disables caching
+        (the library default — the CLI opts in with the user's cache dir).
+    """
+
+    def __init__(self, jobs: int = 1, cache_dir: Path | str | None = None):
+        check_positive_int(jobs, "jobs")
+        self.jobs = jobs
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        if self.cache_dir is not None and self.cache_dir.exists():
+            if not self.cache_dir.is_dir():
+                raise ValueError(
+                    f"cache_dir {self.cache_dir} exists and is not a directory"
+                )
+
+    def _cell_key(self, spec: SweepSpec, params: dict, ctx: SweepContext) -> str:
+        identity = {
+            "cell": f"{spec.cell.__module__}.{spec.cell.__qualname__}",
+            "source": _package_source_digest(),
+            "params": _jsonable(params),
+            "seeds": list(ctx.seeds),
+            "quick": ctx.quick,
+            "version": __version__,
+        }
+        blob = json.dumps(identity, sort_keys=True).encode()
+        return hashlib.sha256(blob).hexdigest()
+
+    def _cache_path(self, key: str) -> Path:
+        assert self.cache_dir is not None
+        return self.cache_dir / f"{key}.json"
+
+    def _cache_load(self, key: str) -> tuple[bool, Any]:
+        if self.cache_dir is None:
+            return False, None
+        path = self._cache_path(key)
+        try:
+            with open(path) as handle:
+                return True, json.load(handle)["value"]
+        except (OSError, json.JSONDecodeError, KeyError):
+            return False, None
+
+    def _cache_store(self, key: str, params: dict, value: Any) -> None:
+        if self.cache_dir is None:
+            return
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        path = self._cache_path(key)
+        payload = json.dumps({"params": _jsonable(params), "value": value})
+        # Writer-private temp file + atomic rename: concurrent sweeps
+        # computing the same cell never see partial JSON and never race on
+        # a shared temp name (last rename wins; the payloads are equal).
+        handle, tmp_name = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
+        with os.fdopen(handle, "w") as tmp_file:
+            tmp_file.write(payload)
+        Path(tmp_name).replace(path)
+
+    def run(self, spec: SweepSpec) -> SweepResult:
+        """Evaluate every cell (cache first, then pool) and collect values."""
+        ctx = spec.context()
+        points = spec.points()
+        values: dict[tuple, Any] = {}
+        pending: list[tuple[tuple, str, dict]] = []
+        hits = 0
+        for params in points:
+            key = self._cell_key(spec, params, ctx)
+            hit, value = self._cache_load(key)
+            if hit:
+                values[spec.key_of(params)] = value
+                hits += 1
+            else:
+                pending.append((spec.key_of(params), key, params))
+        if pending:
+            if self.jobs > 1 and len(pending) > 1:
+                with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+                    futures = [
+                        pool.submit(_run_cell, spec.cell, params, ctx)
+                        for _point_key, _key, params in pending
+                    ]
+                    fresh = [future.result() for future in futures]
+            else:
+                fresh = [
+                    _run_cell(spec.cell, params, ctx)
+                    for _point_key, _key, params in pending
+                ]
+            for (point_key, key, params), value in zip(pending, fresh):
+                values[point_key] = value
+                self._cache_store(key, params, value)
+        return SweepResult(spec=spec, values=values, cache_hits=hits)

@@ -35,11 +35,13 @@ from repro.prediction.lstm import LSTMSpeedModel
 
 __all__ = [
     "OnlinePredictor",
+    "BatchPredictor",
     "LastValuePredictor",
     "ARPredictor",
     "LSTMPredictor",
     "OraclePredictor",
     "StalePredictor",
+    "StackedPredictor",
     "misprediction_rate",
 ]
 
@@ -74,6 +76,58 @@ class OnlinePredictor(Protocol):
     def predict(self) -> np.ndarray:
         """Forecast the next iteration's per-node speeds."""
         ...
+
+
+@runtime_checkable
+class BatchPredictor(Protocol):
+    """Trial-batched predictor: ``(trials, nodes)`` matrices per call."""
+
+    n_trials: int
+
+    def update(self, observed: np.ndarray) -> None:
+        """Record measurements for every trial (NaN = no measurement)."""
+        ...
+
+    def predict(self) -> np.ndarray:
+        """Forecast the next iteration's speeds for every trial."""
+        ...
+
+
+@dataclass
+class StackedPredictor:
+    """Batch adapter: one independent :class:`OnlinePredictor` per trial.
+
+    Trial ``t`` of the batch evolves exactly as ``predictors[t]`` would in
+    a single-trial run — including its private RNG and recurrent state — so
+    batched Monte-Carlo runs are comparable point-for-point with per-trial
+    loops.  Forecasting is far off the simulation hot path; the point of
+    this adapter is the stacked ``(trials, nodes)`` interface, not
+    vectorizing the predictors themselves.
+    """
+
+    predictors: tuple[OnlinePredictor, ...]
+
+    def __post_init__(self) -> None:
+        self.predictors = tuple(self.predictors)
+        if not self.predictors:
+            raise ValueError("at least one predictor is required")
+
+    @property
+    def n_trials(self) -> int:
+        return len(self.predictors)
+
+    def update(self, observed: np.ndarray) -> None:
+        observed = np.asarray(observed, dtype=np.float64)
+        if observed.ndim != 2 or observed.shape[0] != self.n_trials:
+            raise ValueError(
+                f"observed must have shape ({self.n_trials}, nodes), "
+                f"got {observed.shape}"
+            )
+        for t, predictor in enumerate(self.predictors):
+            predictor.update(observed[t])
+
+    def predict(self) -> np.ndarray:
+        return np.stack([p.predict() for p in self.predictors])
 
 
 def _fill_nan_with(values: np.ndarray, fallback: np.ndarray) -> np.ndarray:

@@ -1,0 +1,259 @@
+"""Trial-batched, latency-only replay of the master control loop.
+
+The per-iteration timeline of a session depends only on the work plans and
+the speed draws — never on the numeric payload — so Monte-Carlo sweeps that
+report latency and wasted-computation statistics can skip the encode /
+compute / decode arithmetic entirely.  :class:`BatchCodedRunner` replays
+the exact control loop of :class:`~repro.runtime.session.CodedSession`
+(forecast → plan → simulate → measured-speed feedback) for a whole batch of
+trials per call, feeding ``(trials, workers)`` speed matrices straight into
+:meth:`~repro.cluster.simulator.CodedIterationSim.run_batch`.
+
+Trial ``t`` of a batch run is numerically identical to a single-trial
+session built from the same seed: the simulators guarantee bitwise-equal
+timelines, and :class:`~repro.prediction.predictor.StackedPredictor` keeps
+per-trial forecast state.  ``tests/runtime/test_batch.py`` pins this
+equality against real :class:`CodedSession` runs.
+
+Uncoded baselines (replication, over-decomposition) intentionally stay on
+the session path: their per-iteration numerics are a single mat-vec — there
+is nothing worth skipping — and their speculation/migration control flow is
+sequential by nature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.network import CostModel, NetworkModel
+from repro.cluster.simulator import CodedIterationSim
+from repro.cluster.speed_models import BatchSpeedModel
+from repro.coding.partition import ChunkGrid, RowPartition
+from repro.prediction.predictor import BatchPredictor, misprediction_rate
+from repro.runtime.session import _harmonise_granularity
+from repro.scheduling.base import Scheduler, plan_batch
+from repro.scheduling.timeout import TimeoutPolicy
+
+__all__ = ["BatchRunMetrics", "BatchCodedRunner"]
+
+
+@dataclass
+class BatchRunMetrics:
+    """Per-trial aggregates over a batched run (one entry per round).
+
+    The aggregation formulas mirror :class:`~repro.runtime.metrics.RunMetrics`
+    per trial, so trial ``t``'s numbers equal what a single-trial session
+    would have recorded.
+    """
+
+    n_trials: int
+    n_workers: int
+    _latency: list[np.ndarray] = field(default_factory=list, repr=False)
+    _computed: list[np.ndarray] = field(default_factory=list, repr=False)
+    _used: list[np.ndarray] = field(default_factory=list, repr=False)
+    _assigned: list[np.ndarray] = field(default_factory=list, repr=False)
+    _predicted: list[np.ndarray] = field(default_factory=list, repr=False)
+    _actual: list[np.ndarray] = field(default_factory=list, repr=False)
+    _repaired: list[np.ndarray] = field(default_factory=list, repr=False)
+
+    def add_round(
+        self,
+        latency: np.ndarray,
+        computed: np.ndarray,
+        used: np.ndarray,
+        assigned: np.ndarray,
+        predicted: np.ndarray,
+        actual: np.ndarray,
+        repaired: np.ndarray,
+    ) -> None:
+        """Record one round's per-trial measurements."""
+        self._latency.append(np.asarray(latency, dtype=np.float64))
+        self._computed.append(np.asarray(computed, dtype=np.float64))
+        self._used.append(np.asarray(used, dtype=np.float64))
+        self._assigned.append(np.asarray(assigned, dtype=np.float64))
+        self._predicted.append(np.asarray(predicted, dtype=np.float64))
+        self._actual.append(np.asarray(actual, dtype=np.float64))
+        self._repaired.append(np.asarray(repaired, dtype=bool))
+
+    def __len__(self) -> int:
+        return len(self._latency)
+
+    def _require_rounds(self) -> None:
+        if not self._latency:
+            raise RuntimeError("no rounds recorded yet")
+
+    @property
+    def total_time(self) -> np.ndarray:
+        """Per-trial sum of round completion times, shape ``(trials,)``."""
+        self._require_rounds()
+        total = np.zeros(self.n_trials)
+        for latency in self._latency:  # sequential, like the scalar sum()
+            total = total + latency
+        return total
+
+    def wasted_fraction_of_assigned(self) -> np.ndarray:
+        """Per-trial per-worker Fig 9/11 metric, shape ``(trials, workers)``."""
+        self._require_rounds()
+        computed = np.sum(self._computed, axis=0)
+        used = np.sum(self._used, axis=0)
+        assigned = np.sum(self._assigned, axis=0)
+        assigned = np.maximum(assigned, np.maximum(computed, used))
+        wasted = np.sum(
+            [np.maximum(0.0, c - u) for c, u in zip(self._computed, self._used)],
+            axis=0,
+        )
+        out = np.zeros_like(assigned)
+        mask = assigned > 0
+        out[mask] = wasted[mask] / assigned[mask]
+        return out
+
+    def misprediction_rate(self, tolerance: float = 0.15) -> np.ndarray:
+        """Per-trial fraction of forecasts off by > ``tolerance``."""
+        self._require_rounds()
+        predicted = np.stack(self._predicted)  # (rounds, trials, workers)
+        actual = np.stack(self._actual)
+        return np.array(
+            [
+                misprediction_rate(predicted[:, t], actual[:, t], tolerance)
+                for t in range(self.n_trials)
+            ]
+        )
+
+    @property
+    def repair_count(self) -> np.ndarray:
+        """Per-trial number of rounds that triggered §4.3 repair."""
+        self._require_rounds()
+        return np.sum(self._repaired, axis=0)
+
+
+@dataclass
+class _BatchOperator:
+    name: str
+    scheduler: Scheduler
+    sim: CodedIterationSim
+
+
+@dataclass
+class BatchCodedRunner:
+    """Latency twin of :class:`~repro.runtime.session.CodedSession`.
+
+    Operators are registered by *geometry* (row/column counts and the
+    code's recovery threshold) instead of by encoded matrices; everything
+    else — granularity harmonisation, plan construction, the simulated
+    timeline, predictor feedback — follows the session's control loop
+    round for round, for all trials at once.
+    """
+
+    speed_model: BatchSpeedModel
+    predictor: BatchPredictor
+    network: NetworkModel = field(default_factory=NetworkModel)
+    cost: CostModel = field(default_factory=CostModel)
+    timeout: TimeoutPolicy | None = None
+    metrics: BatchRunMetrics = field(init=False)
+    _operators: dict[str, _BatchOperator] = field(init=False, default_factory=dict)
+    _iteration: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        self.metrics = BatchRunMetrics(
+            n_trials=self.speed_model.n_trials,
+            n_workers=self.speed_model.n_workers,
+        )
+
+    @property
+    def n_workers(self) -> int:
+        return self.speed_model.n_workers
+
+    @property
+    def n_trials(self) -> int:
+        return self.speed_model.n_trials
+
+    def register_matvec(
+        self,
+        name: str,
+        total_rows: int,
+        width: int,
+        k: int,
+        scheduler: Scheduler,
+        num_chunks: int | None = None,
+    ) -> None:
+        """Register the latency geometry of an (n, k)-coded mat-vec.
+
+        Mirrors ``CodedSession.register_matvec`` for a ``total_rows × width``
+        matrix encoded at recovery threshold ``k`` — the encoded partition
+        height and chunk grid come out identical, without encoding anything.
+        """
+        if name in self._operators:
+            raise ValueError(f"operator {name!r} already registered")
+        block_rows = RowPartition(total_rows, k).block_rows
+        scheduler, chunks = _harmonise_granularity(scheduler, num_chunks, block_rows)
+        sim = CodedIterationSim(
+            grid=ChunkGrid(block_rows, chunks),
+            width=width,
+            width_out=1,
+            network=self.network,
+            cost=self.cost,
+            timeout=self.timeout,
+        )
+        self._operators[name] = _BatchOperator(name=name, scheduler=scheduler, sim=sim)
+
+    def register_bilinear(
+        self,
+        name: str,
+        left_rows: int,
+        inner: int,
+        right_cols: int,
+        a: int,
+        b: int,
+        scheduler: Scheduler,
+        num_chunks: int | None = None,
+        diag_pass_factor: float = 20.0,
+    ) -> None:
+        """Register the latency geometry of a polynomial-coded bilinear op.
+
+        Mirrors ``CodedSession.register_bilinear`` for
+        ``left (left_rows × inner) @ diag(x) @ right (inner × right_cols)``
+        split ``a × b`` — same chunk grid, effective row width, fixed
+        per-task ``diag(x)`` cost, and broadcast width as the session
+        derives from the encoded matrices.
+        """
+        if name in self._operators:
+            raise ValueError(f"operator {name!r} already registered")
+        block_rows = RowPartition(left_rows, a).block_rows
+        block_cols = RowPartition(right_cols, b).block_rows
+        scheduler, chunks = _harmonise_granularity(scheduler, num_chunks, block_rows)
+        sim = CodedIterationSim(
+            grid=ChunkGrid(block_rows, chunks),
+            width=inner * block_cols,
+            width_out=block_cols,
+            broadcast_width=inner,
+            fixed_task_flops=diag_pass_factor * inner * block_cols,
+            network=self.network,
+            cost=self.cost,
+            timeout=self.timeout,
+        )
+        self._operators[name] = _BatchOperator(name=name, scheduler=scheduler, sim=sim)
+
+    def matvec(self, name: str) -> None:
+        """Play one coded round for every trial (mat-vec or bilinear)."""
+        op = self._operators.get(name)
+        if op is None:
+            raise KeyError(f"no matvec operator named {name!r}")
+        actual = np.asarray(
+            self.speed_model.speeds_batch(self._iteration), dtype=np.float64
+        )
+        predicted = np.asarray(self.predictor.predict(), dtype=np.float64)
+        plans = plan_batch(op.scheduler, predicted)
+        outcome = op.sim.run_batch(plans, actual)
+        self.predictor.update(np.where(outcome.responded, actual, np.nan))
+        self.metrics.add_round(
+            latency=outcome.completion_time,
+            computed=outcome.computed_rows,
+            used=outcome.used_rows,
+            assigned=outcome.assigned_rows,
+            predicted=predicted,
+            actual=actual,
+            repaired=outcome.repaired,
+        )
+        self._iteration += 1

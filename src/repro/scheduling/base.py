@@ -18,7 +18,15 @@ import numpy as np
 
 from repro._util import ranges_to_indices
 
-__all__ = ["ChunkAssignment", "CodedWorkPlan", "Scheduler", "full_plan"]
+__all__ = [
+    "ChunkAssignment",
+    "CodedWorkPlan",
+    "Scheduler",
+    "as_speed_matrix",
+    "full_plan",
+    "plan_batch",
+    "plan_unique_rows",
+]
 
 
 @dataclass(frozen=True)
@@ -158,6 +166,44 @@ class Scheduler(Protocol):
     def plan(self, speeds: np.ndarray) -> CodedWorkPlan:
         """Build a work plan from (predicted) per-worker speeds."""
         ...
+
+
+def as_speed_matrix(speeds: np.ndarray) -> np.ndarray:
+    """Validate and return a ``(trials, workers)`` speed matrix."""
+    speeds = np.asarray(speeds, dtype=np.float64)
+    if speeds.ndim != 2:
+        raise ValueError(f"speeds must be 2-D (trials, workers), got "
+                         f"shape {speeds.shape}")
+    return speeds
+
+
+def plan_unique_rows(rows: np.ndarray, plan_fn) -> list[CodedWorkPlan]:
+    """Plan each distinct row of ``rows`` once; duplicates share the object.
+
+    Shared plan objects let
+    :meth:`~repro.cluster.simulator.CodedIterationSim.run_batch` profile
+    each distinct plan a single time.
+    """
+    unique, inverse = np.unique(rows, axis=0, return_inverse=True)
+    inverse = np.asarray(inverse).ravel()  # numpy 2.0 returns it shaped
+    plans = [plan_fn(row) for row in unique]
+    return [plans[i] for i in inverse]
+
+
+def plan_batch(scheduler: Scheduler, speeds: np.ndarray) -> list[CodedWorkPlan]:
+    """Build per-trial plans from a ``(trials, workers)`` speed matrix.
+
+    Schedulers exposing their own ``plan_batch`` (e.g. the speed-oblivious
+    static scheduler, which shares one plan object across the whole batch,
+    or basic S2C2, which deduplicates on its straggler classification)
+    are deferred to; otherwise trials with identical speed rows are planned
+    once and share the resulting plan object.
+    """
+    speeds = as_speed_matrix(speeds)
+    batcher = getattr(scheduler, "plan_batch", None)
+    if batcher is not None:
+        return batcher(speeds)
+    return plan_unique_rows(speeds, scheduler.plan)
 
 
 def full_plan(n_workers: int, num_chunks: int, coverage: int) -> CodedWorkPlan:

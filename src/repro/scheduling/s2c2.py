@@ -25,7 +25,13 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro._util import check_positive_int
-from repro.scheduling.base import ChunkAssignment, CodedWorkPlan, full_plan
+from repro.scheduling.base import (
+    ChunkAssignment,
+    CodedWorkPlan,
+    as_speed_matrix,
+    full_plan,
+    plan_unique_rows,
+)
 
 __all__ = [
     "allocate_chunks",
@@ -234,12 +240,27 @@ class BasicS2C2Scheduler:
     def plan(self, speeds: np.ndarray) -> CodedWorkPlan:
         """Classify stragglers, then split work equally among the fast set."""
         speeds = np.asarray(speeds, dtype=np.float64)
+        return self._plan_binary(self._classify(speeds))
+
+    def plan_batch(self, speeds: np.ndarray) -> list[CodedWorkPlan]:
+        """Per-trial plans, deduplicated on the binary classification.
+
+        Distinct speed rows usually collapse to the same fast/straggler
+        pattern, so a Monte-Carlo batch typically needs only a handful of
+        distinct plans — which the batched simulator then profiles once
+        each.
+        """
+        speeds = as_speed_matrix(speeds)
+        binary = np.stack([self._classify(row) for row in speeds])
+        return plan_unique_rows(binary, self._plan_binary)
+
+    def _classify(self, speeds: np.ndarray) -> np.ndarray:
         fastest = float(speeds.max(initial=0.0))
-        binary = np.where(
-            speeds >= self.straggler_threshold * fastest, 1.0, 0.0
-        )
+        return np.where(speeds >= self.straggler_threshold * fastest, 1.0, 0.0)
+
+    def _plan_binary(self, binary: np.ndarray) -> CodedWorkPlan:
         try:
             counts = allocate_chunks(binary, self.coverage, self.num_chunks)
         except ValueError:
-            return full_plan(speeds.size, self.num_chunks, self.coverage)
+            return full_plan(binary.size, self.num_chunks, self.coverage)
         return wraparound_plan(counts, self.coverage, self.num_chunks)

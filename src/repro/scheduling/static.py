@@ -12,7 +12,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro._util import check_positive_int
-from repro.scheduling.base import CodedWorkPlan, full_plan
+from repro.scheduling.base import CodedWorkPlan, as_speed_matrix, full_plan
 
 __all__ = ["StaticCodedScheduler"]
 
@@ -43,3 +43,9 @@ class StaticCodedScheduler:
         """Ignore ``speeds`` and assign every chunk to every worker."""
         speeds = np.asarray(speeds)
         return full_plan(speeds.size, self.num_chunks, self.coverage)
+
+    def plan_batch(self, speeds: np.ndarray) -> list[CodedWorkPlan]:
+        """One shared full plan for the whole batch (the plan is static)."""
+        speeds = as_speed_matrix(speeds)
+        shared = full_plan(speeds.shape[1], self.num_chunks, self.coverage)
+        return [shared] * speeds.shape[0]

@@ -1,0 +1,211 @@
+"""Batched-vs-loop equivalence for the Monte-Carlo simulator paths.
+
+The contract of every ``run_batch``: per-trial results are *exactly* equal
+(bitwise, not approximately) to looping the scalar ``run`` over the same
+speed rows.  These tests sweep the plan shapes the schedulers produce
+(full, exact-coverage wraparound, repair-armed) plus failures.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.network import CostModel, NetworkModel
+from repro.cluster.simulator import (
+    CodedIterationSim,
+    ReplicationIterationSim,
+)
+from repro.cluster.speed_models import (
+    BatchTraceSpeeds,
+    ControlledSpeeds,
+    StackedSpeeds,
+)
+from repro.coding.partition import ChunkGrid
+from repro.scheduling.replication import ReplicaPlacement, SpeculationConfig
+from repro.scheduling.s2c2 import GeneralS2C2Scheduler
+from repro.scheduling.static import StaticCodedScheduler
+from repro.scheduling.timeout import TimeoutPolicy
+
+
+N = 8
+COVERAGE = 5
+CHUNKS = 40
+ROWS = 200
+
+
+def _speed_batch(trials: int, stragglers: int = 2, seed: int = 7) -> np.ndarray:
+    models = [
+        ControlledSpeeds(N, num_stragglers=stragglers, seed=seed + 13 * t)
+        for t in range(trials)
+    ]
+    return StackedSpeeds(models).speeds_batch(3)
+
+
+def _sim(timeout=None, fixed_task_flops: float = 0.0) -> CodedIterationSim:
+    # Compute-dominant models (as in the controlled-cluster experiments):
+    # straggler slowdowns must show through, or timeouts never fire.
+    return CodedIterationSim(
+        grid=ChunkGrid(ROWS, CHUNKS),
+        width=64,
+        timeout=timeout,
+        fixed_task_flops=fixed_task_flops,
+        network=NetworkModel(latency=5e-6, bandwidth=2.5e8),
+        cost=CostModel(worker_flops=5e7),
+    )
+
+
+def _assert_batch_matches_loop(sim, plans, speeds, failed=frozenset()):
+    batch = sim.run_batch(plans, speeds, failed)
+    if not isinstance(plans, list):
+        plans = [plans] * speeds.shape[0]
+    if isinstance(failed, frozenset):
+        failed = [failed] * speeds.shape[0]
+    for t in range(speeds.shape[0]):
+        scalar = sim.run(plans[t], speeds[t], failed[t])
+        assert batch.completion_time[t] == scalar.completion_time, f"trial {t}"
+        assert batch.decode_time[t] == scalar.decode_time
+        assert batch.broadcast_time == scalar.broadcast_time
+        assert bool(batch.repaired[t]) == scalar.repaired
+        for w, stat in enumerate(scalar.workers):
+            assert batch.assigned_rows[t, w] == stat.assigned_rows
+            assert batch.computed_rows[t, w] == stat.computed_rows
+            assert batch.used_rows[t, w] == stat.used_rows
+            assert bool(batch.responded[t, w]) == (stat.response_time is not None)
+    return batch
+
+
+class TestCodedBatchEquivalence:
+    def test_full_plan_shared(self):
+        plan = StaticCodedScheduler(coverage=COVERAGE, num_chunks=CHUNKS).plan(
+            np.ones(N)
+        )
+        _assert_batch_matches_loop(_sim(), plan, _speed_batch(12))
+
+    def test_full_plan_with_fixed_task_cost(self):
+        plan = StaticCodedScheduler(coverage=COVERAGE, num_chunks=CHUNKS).plan(
+            np.ones(N)
+        )
+        sim = _sim(fixed_task_flops=5e5)
+        _assert_batch_matches_loop(sim, plan, _speed_batch(6))
+
+    def test_exact_coverage_per_trial_plans(self):
+        scheduler = GeneralS2C2Scheduler(coverage=COVERAGE, num_chunks=CHUNKS)
+        speeds = _speed_batch(10)
+        plans = [scheduler.plan(row) for row in speeds]
+        _assert_batch_matches_loop(_sim(), plans, speeds)
+
+    def test_exact_coverage_with_timeout_repairs(self):
+        # Mis-predicted plans: built from all-equal speeds, executed
+        # against straggler-laden actual speeds, so the §4.3 deadline
+        # fires and the repair path is exercised through the batch API.
+        scheduler = GeneralS2C2Scheduler(coverage=COVERAGE, num_chunks=CHUNKS)
+        plan = scheduler.plan(np.ones(N))
+        speeds = _speed_batch(10, stragglers=3)
+        sim = _sim(timeout=TimeoutPolicy(slack=0.1))
+        batch = _assert_batch_matches_loop(sim, plan, speeds)
+        assert batch.repaired.any(), "test should exercise the repair fallback"
+
+    def test_full_plan_with_failures(self):
+        plan = StaticCodedScheduler(coverage=COVERAGE, num_chunks=CHUNKS).plan(
+            np.ones(N)
+        )
+        speeds = _speed_batch(6, stragglers=0)
+        per_trial_failed = [
+            frozenset(), frozenset({0}), frozenset({1, 5}),
+            frozenset(), frozenset({7}), frozenset({2, 3, 6}),
+        ]
+        _assert_batch_matches_loop(_sim(), plan, speeds, per_trial_failed)
+
+    def test_exact_plan_failure_needs_repair(self):
+        scheduler = GeneralS2C2Scheduler(coverage=COVERAGE, num_chunks=CHUNKS)
+        plan = scheduler.plan(np.ones(N))
+        speeds = _speed_batch(4, stragglers=0)
+        sim = _sim(timeout=TimeoutPolicy())
+        _assert_batch_matches_loop(
+            sim, plan, speeds, [frozenset({0})] * speeds.shape[0]
+        )
+
+    def test_unsatisfiable_raises_like_scalar(self):
+        plan = StaticCodedScheduler(coverage=N, num_chunks=CHUNKS).plan(np.ones(N))
+        speeds = _speed_batch(3, stragglers=0)
+        with pytest.raises(RuntimeError, match="cannot complete"):
+            _sim().run_batch(plan, speeds, frozenset({0}))
+
+    def test_shape_validation(self):
+        plan = StaticCodedScheduler(coverage=COVERAGE, num_chunks=CHUNKS).plan(
+            np.ones(N)
+        )
+        with pytest.raises(ValueError, match="2-D"):
+            _sim().run_batch(plan, np.ones(N))
+        with pytest.raises(ValueError, match="plans"):
+            _sim().run_batch([plan], np.ones((3, N)))
+
+
+class TestReplicationBatchEquivalence:
+    def _sim(self, allow_movement=True):
+        config = SpeculationConfig(allow_data_movement=allow_movement)
+        placement = ReplicaPlacement(N, config.replication, seed=0)
+        return ReplicationIterationSim(
+            placement=placement,
+            config=config,
+            rows_per_partition=25,
+            width=64,
+        )
+
+    def _check(self, sim, speeds, failed=frozenset()):
+        outcomes = sim.run_batch(speeds, failed)
+        failed_list = (
+            [failed] * speeds.shape[0] if isinstance(failed, frozenset) else failed
+        )
+        for t, got in enumerate(outcomes):
+            want = sim.run(speeds[t], failed_list[t])
+            assert got.completion_time == want.completion_time
+            assert got.partition_owner == want.partition_owner
+            assert got.speculative_launches == want.speculative_launches
+            assert got.data_moved_bytes == want.data_moved_bytes
+            for w in range(N):
+                assert got.workers[w].computed_rows == want.workers[w].computed_rows
+                assert got.workers[w].used_rows == want.workers[w].used_rows
+
+    def test_speculation_and_movement(self):
+        self._check(self._sim(), _speed_batch(8, stragglers=2))
+
+    def test_strict_locality(self):
+        self._check(self._sim(allow_movement=False), _speed_batch(8, stragglers=1))
+
+    def test_with_failures(self):
+        self._check(
+            self._sim(), _speed_batch(4, stragglers=0), frozenset({2})
+        )
+
+
+class TestBatchSpeedModels:
+    def test_stacked_matches_singles(self):
+        models = [ControlledSpeeds(5, num_stragglers=1, seed=s) for s in range(4)]
+        batch = StackedSpeeds(
+            [ControlledSpeeds(5, num_stragglers=1, seed=s) for s in range(4)]
+        )
+        for it in range(3):
+            got = batch.speeds_batch(it)
+            assert got.shape == (4, 5)
+            for t, m in enumerate(models):
+                np.testing.assert_array_equal(got[t], m.speeds(it))
+
+    def test_stacked_rejects_mismatched_widths(self):
+        with pytest.raises(ValueError, match="n_workers"):
+            StackedSpeeds([ControlledSpeeds(4), ControlledSpeeds(5)])
+
+    def test_batch_traces_trial_view(self):
+        rng = np.random.default_rng(0)
+        traces = rng.uniform(0.5, 1.5, size=(3, 6, 9))
+        batch = BatchTraceSpeeds(traces)
+        assert (batch.n_trials, batch.n_workers, batch.length) == (3, 6, 9)
+        for it in (0, 4, 9, 13):  # includes wrap-around
+            got = batch.speeds_batch(it)
+            for t in range(3):
+                np.testing.assert_array_equal(got[t], batch.trial(t).speeds(it))
+
+    def test_batch_traces_from_traces(self):
+        rng = np.random.default_rng(1)
+        per_trial = [rng.uniform(0.5, 1.5, size=(4, 7)) for _ in range(5)]
+        batch = BatchTraceSpeeds.from_traces(per_trial)
+        np.testing.assert_array_equal(batch.speeds_batch(2)[3], per_trial[3][:, 2])

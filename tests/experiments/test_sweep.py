@@ -1,0 +1,165 @@
+"""Sweep engine: grid enumeration, deterministic seeding, caching, pool."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.experiments.sweep import (
+    SEED_STRIDE,
+    SweepContext,
+    SweepRunner,
+    SweepSpec,
+    default_cache_dir,
+)
+
+
+def _record_and_compute(params: dict, ctx: SweepContext):
+    """Cell used across tests: per-trial pseudo-metric + invocation marker."""
+    marker_dir = params.get("marker_dir")
+    if marker_dir:
+        path = os.path.join(
+            marker_dir, f"{params['a']}-{params['b']}-{os.getpid()}-{id(ctx)}"
+        )
+        with open(path, "a") as handle:
+            handle.write("x")
+    return [
+        float(np.random.default_rng(seed).normal() + params["a"] * 10 + params["b"])
+        for seed in ctx.seeds
+    ]
+
+
+def _spec(trials=2, base_seed=7, marker_dir=None, axes=None):
+    axes = axes or (
+        ("a", (1, 2)),
+        ("b", (3, 4, 5)),
+    )
+    if marker_dir:
+        axes = axes + (("marker_dir", (marker_dir,)),)
+    return SweepSpec(
+        name="demo",
+        cell=_record_and_compute,
+        axes=axes,
+        trials=trials,
+        base_seed=base_seed,
+    )
+
+
+class TestSweepSpec:
+    def test_points_cartesian_product(self):
+        points = _spec().points()
+        assert len(points) == 6
+        assert points[0] == {"a": 1, "b": 3}
+        assert points[-1] == {"a": 2, "b": 5}
+
+    def test_context_seeds_deterministic(self):
+        ctx = _spec(trials=3, base_seed=11).context()
+        assert ctx.seeds == (11, 11 + SEED_STRIDE, 11 + 2 * SEED_STRIDE)
+        assert ctx.trials == 3
+
+    def test_trial_zero_seed_is_base_seed(self):
+        # The pairing property: trial 0 of any sweep reproduces the
+        # single-trial seeding of the original experiment modules.
+        assert _spec(trials=5, base_seed=42).context().seeds[0] == 42
+
+    def test_axes_mapping_accepted(self):
+        spec = SweepSpec(
+            name="m", cell=_record_and_compute, axes={"a": (1,), "b": (2, 3)}
+        )
+        assert spec.axis_names == ("a", "b")
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError, match="no values"):
+            SweepSpec(name="bad", cell=_record_and_compute, axes=(("a", ()),))
+
+
+class TestDeterminism:
+    def test_same_spec_identical_results(self):
+        runner = SweepRunner(jobs=1)
+        first = runner.run(_spec())
+        second = runner.run(_spec())
+        assert first.values == second.values
+
+    def test_trial_prefix_stable_as_trials_grow(self):
+        runner = SweepRunner(jobs=1)
+        small = runner.run(_spec(trials=1))
+        large = runner.run(_spec(trials=4))
+        for params in small.points():
+            assert large.get(**params)[:1] == small.get(**params)
+
+    def test_get_unknown_point(self):
+        result = SweepRunner(jobs=1).run(_spec())
+        with pytest.raises(KeyError, match="no cell"):
+            result.get(a=9, b=9)
+
+
+class TestCache:
+    def test_miss_then_hit(self, tmp_path):
+        markers = tmp_path / "markers"
+        markers.mkdir()
+        cache = tmp_path / "cache"
+        runner = SweepRunner(jobs=1, cache_dir=cache)
+        spec = _spec(marker_dir=str(markers))
+        first = runner.run(spec)
+        assert first.cache_hits == 0
+        n_invocations = len(list(markers.iterdir()))
+        assert n_invocations == 6
+        second = runner.run(spec)
+        assert second.cache_hits == 6
+        assert len(list(markers.iterdir())) == n_invocations  # no re-runs
+        assert second.values == first.values
+
+    def test_incremental_new_cells_only(self, tmp_path):
+        markers = tmp_path / "markers"
+        markers.mkdir()
+        runner = SweepRunner(jobs=1, cache_dir=tmp_path / "cache")
+        runner.run(_spec(marker_dir=str(markers)))
+        before = len(list(markers.iterdir()))
+        grown = _spec(
+            marker_dir=str(markers),
+            axes=(("a", (1, 2, 3)), ("b", (3, 4, 5))),
+        )
+        result = runner.run(grown)
+        assert result.cache_hits == 6  # the old grid
+        assert len(list(markers.iterdir())) == before + 3  # only a=3 cells ran
+
+    def test_key_varies_with_seeds_and_quick(self, tmp_path):
+        runner = SweepRunner(jobs=1, cache_dir=tmp_path)
+        spec = _spec()
+        ctx = spec.context()
+        base = runner._cell_key(spec, {"a": 1, "b": 3}, ctx)
+        other_seed = _spec(base_seed=8).context()
+        assert runner._cell_key(spec, {"a": 1, "b": 3}, other_seed) != base
+        full = SweepContext(quick=False, base_seed=7, seeds=ctx.seeds)
+        assert runner._cell_key(spec, {"a": 1, "b": 3}, full) != base
+        assert runner._cell_key(spec, {"a": 1, "b": 4}, ctx) != base
+
+    def test_corrupt_cache_entry_recomputed(self, tmp_path):
+        runner = SweepRunner(jobs=1, cache_dir=tmp_path)
+        spec = _spec()
+        runner.run(spec)
+        for path in tmp_path.glob("*.json"):
+            path.write_text("{not json")
+        result = runner.run(spec)
+        assert result.cache_hits == 0
+        for path in tmp_path.glob("*.json"):
+            json.loads(path.read_text())  # rewritten valid
+
+    def test_default_cache_dir_env_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "custom"))
+        assert default_cache_dir() == tmp_path / "custom"
+
+
+class TestParallel:
+    def test_pool_matches_inline(self, tmp_path):
+        spec = _spec(trials=2)
+        inline = SweepRunner(jobs=1).run(spec)
+        pooled = SweepRunner(jobs=2).run(spec)
+        assert pooled.values == inline.values
+
+    def test_pool_populates_cache(self, tmp_path):
+        runner = SweepRunner(jobs=2, cache_dir=tmp_path)
+        runner.run(_spec())
+        assert len(list(tmp_path.glob("*.json"))) == 6
+        assert runner.run(_spec()).cache_hits == 6

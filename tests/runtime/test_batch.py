@@ -1,0 +1,176 @@
+"""Batched latency runner vs real sessions: metrics must match exactly.
+
+The batch engine's whole claim is that trial ``t`` of a batched run equals
+a single-trial :class:`CodedSession` run built from the same seed — same
+plans, same timeline, same predictor feedback — with the numeric payload
+skipped.  These tests pin that equality for the controlled-cluster and
+cloud-trace experiment shapes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.speed_models import (
+    BatchTraceSpeeds,
+    ControlledSpeeds,
+    StackedSpeeds,
+    TraceSpeeds,
+)
+from repro.coding.mds import MDSCode
+from repro.experiments.harness import run_coded_lr_like, run_coded_lr_like_batch
+from repro.prediction.predictor import (
+    LastValuePredictor,
+    OraclePredictor,
+    StackedPredictor,
+    StalePredictor,
+)
+from repro.prediction.traces import VOLATILE, generate_speed_traces
+from repro.scheduling.s2c2 import BasicS2C2Scheduler, GeneralS2C2Scheduler
+from repro.scheduling.static import StaticCodedScheduler
+from repro.scheduling.timeout import TimeoutPolicy
+
+N = 12
+ROWS, COLS = 240, 60
+TRIALS = 4
+ITERATIONS = 3
+
+
+def _controlled(seed: int, stragglers: int = 2) -> ControlledSpeeds:
+    return ControlledSpeeds(
+        N, num_stragglers=stragglers, slowdown=5.0, jitter=0.2, seed=seed
+    )
+
+
+def _session_metrics(scheduler, seed, stragglers=2, timeout=None, predictor=None):
+    matrix = np.random.default_rng(0).normal(size=(ROWS, COLS))
+    session = run_coded_lr_like(
+        matrix,
+        lambda: MDSCode(N, scheduler.coverage),
+        scheduler,
+        _controlled(seed, stragglers),
+        predictor
+        if predictor is not None
+        else OraclePredictor(speed_model=_controlled(seed, stragglers)),
+        iterations=ITERATIONS,
+        timeout=timeout,
+        seed=seed,
+    )
+    return session.metrics
+
+
+@pytest.mark.parametrize(
+    "scheduler_factory, timeout",
+    [
+        (lambda: StaticCodedScheduler(coverage=6, num_chunks=10_000), None),
+        (
+            lambda: GeneralS2C2Scheduler(coverage=6, num_chunks=10_000),
+            TimeoutPolicy(),
+        ),
+        (
+            lambda: BasicS2C2Scheduler(coverage=6, num_chunks=10_000),
+            TimeoutPolicy(),
+        ),
+    ],
+)
+def test_batch_matches_sessions_controlled(scheduler_factory, timeout):
+    seeds = [11 + 3 * t for t in range(TRIALS)]
+    stragglers = 2
+    batch = run_coded_lr_like_batch(
+        ROWS,
+        COLS,
+        scheduler_factory().coverage,
+        scheduler_factory(),
+        StackedSpeeds([_controlled(s, stragglers) for s in seeds]),
+        StackedPredictor(
+            [
+                OraclePredictor(speed_model=_controlled(s, stragglers))
+                for s in seeds
+            ]
+        ),
+        iterations=ITERATIONS,
+        timeout=timeout,
+    )
+    totals = batch.total_time
+    wasted = batch.wasted_fraction_of_assigned()
+    mis = batch.misprediction_rate()
+    for t, seed in enumerate(seeds):
+        metrics = _session_metrics(
+            scheduler_factory(), seed, stragglers, timeout=timeout
+        )
+        assert totals[t] == metrics.total_time, f"trial {t}"
+        np.testing.assert_array_equal(
+            wasted[t], metrics.wasted_fraction_of_assigned()
+        )
+        assert mis[t] == metrics.misprediction_rate()
+        assert batch.repair_count[t] == metrics.repair_count
+
+
+def test_batch_matches_sessions_traces_stale_predictor():
+    # The Fig 13-style configuration: trace replay + adversarial oracle.
+    seeds = [5, 6, 7]
+    traces = [
+        generate_speed_traces(N, 2 * ITERATIONS + 2, VOLATILE, seed=s)
+        for s in seeds
+    ]
+    scheduler = GeneralS2C2Scheduler(coverage=9, num_chunks=10_000)
+    batch = run_coded_lr_like_batch(
+        ROWS,
+        COLS,
+        9,
+        scheduler,
+        BatchTraceSpeeds.from_traces(traces),
+        StackedPredictor(
+            [
+                StalePredictor(
+                    speed_model=TraceSpeeds(traces[t]), miss_rate=0.18, seed=seeds[t]
+                )
+                for t in range(len(seeds))
+            ]
+        ),
+        iterations=ITERATIONS,
+        timeout=TimeoutPolicy(),
+    )
+    matrix = np.random.default_rng(0).normal(size=(ROWS, COLS))
+    for t, seed in enumerate(seeds):
+        session = run_coded_lr_like(
+            matrix,
+            lambda: MDSCode(N, 9),
+            GeneralS2C2Scheduler(coverage=9, num_chunks=10_000),
+            TraceSpeeds(traces[t]),
+            StalePredictor(
+                speed_model=TraceSpeeds(traces[t]), miss_rate=0.18, seed=seed
+            ),
+            iterations=ITERATIONS,
+            timeout=TimeoutPolicy(),
+            seed=seed,
+        )
+        assert batch.total_time[t] == session.metrics.total_time
+
+
+def test_batch_matches_sessions_last_value_predictor():
+    # LastValue feedback depends on *which* workers responded, so this
+    # exercises the responded-mask parity end to end.
+    seeds = [3, 4]
+    scheduler = StaticCodedScheduler(coverage=9, num_chunks=10_000)
+    batch = run_coded_lr_like_batch(
+        ROWS,
+        COLS,
+        9,
+        scheduler,
+        StackedSpeeds([_controlled(s, 1) for s in seeds]),
+        StackedPredictor([LastValuePredictor(N) for _ in seeds]),
+        iterations=ITERATIONS,
+    )
+    for t, seed in enumerate(seeds):
+        metrics = _session_metrics(
+            scheduler, seed, 1, predictor=LastValuePredictor(N)
+        )
+        assert batch.total_time[t] == metrics.total_time
+
+
+def test_metrics_require_rounds():
+    from repro.runtime.batch import BatchRunMetrics
+
+    metrics = BatchRunMetrics(n_trials=2, n_workers=3)
+    with pytest.raises(RuntimeError):
+        _ = metrics.total_time

@@ -1,0 +1,50 @@
+"""Batched plan construction: dedupe and scheduler-specific fast paths."""
+
+import numpy as np
+import pytest
+
+from repro.scheduling.base import plan_batch
+from repro.scheduling.s2c2 import BasicS2C2Scheduler, GeneralS2C2Scheduler
+from repro.scheduling.static import StaticCodedScheduler
+
+
+class TestPlanBatch:
+    def test_matches_scalar_plans(self):
+        scheduler = GeneralS2C2Scheduler(coverage=4, num_chunks=24)
+        rng = np.random.default_rng(0)
+        speeds = rng.uniform(0.2, 1.5, size=(6, 8))
+        plans = plan_batch(scheduler, speeds)
+        assert len(plans) == 6
+        for plan, row in zip(plans, speeds):
+            want = scheduler.plan(row)
+            assert plan.assignments == want.assignments
+
+    def test_identical_rows_share_plan_object(self):
+        scheduler = GeneralS2C2Scheduler(coverage=4, num_chunks=24)
+        row = np.linspace(0.5, 1.5, 8)
+        plans = plan_batch(scheduler, np.stack([row, row, row]))
+        assert plans[0] is plans[1] is plans[2]
+
+    def test_static_scheduler_shares_one_full_plan(self):
+        scheduler = StaticCodedScheduler(coverage=4, num_chunks=24)
+        speeds = np.random.default_rng(1).uniform(0.2, 1.5, size=(5, 8))
+        plans = plan_batch(scheduler, speeds)
+        assert all(p is plans[0] for p in plans)
+        assert plans[0].assignments[0].ranges == ((0, 24),)
+
+    def test_basic_s2c2_dedupes_on_classification(self):
+        scheduler = BasicS2C2Scheduler(coverage=4, num_chunks=24)
+        rng = np.random.default_rng(2)
+        # Distinct speeds, identical fast/straggler pattern (worker 7 slow).
+        speeds = rng.uniform(0.9, 1.1, size=(4, 8))
+        speeds[:, 7] = 0.1
+        plans = plan_batch(scheduler, speeds)
+        assert all(p is plans[0] for p in plans)
+        for row in speeds:
+            assert scheduler.plan(row).assignments == plans[0].assignments
+
+    def test_rejects_1d_speeds(self):
+        with pytest.raises(ValueError, match="2-D"):
+            plan_batch(GeneralS2C2Scheduler(coverage=4, num_chunks=24), np.ones(8))
+        with pytest.raises(ValueError, match="2-D"):
+            StaticCodedScheduler(coverage=4, num_chunks=24).plan_batch(np.ones(8))

@@ -29,3 +29,26 @@ class TestCli:
     def test_no_command_prints_help(self, capsys):
         assert main([]) == 1
         assert "experiments" in capsys.readouterr().out
+
+    def test_help_documents_sweep_flags(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["experiments", "--help"])
+        out = capsys.readouterr().out
+        for flag in ("--trials", "--jobs", "--no-cache", "--cache-dir", "--seed"):
+            assert flag in out
+
+    def test_run_with_trials_and_jobs(self, capsys, tmp_path):
+        argv = [
+            "experiments", "fig02", "--quick", "--trials", "2",
+            "--jobs", "2", "--cache-dir", str(tmp_path),
+        ]
+        assert main(argv) == 0
+        assert "fig02" in capsys.readouterr().out
+        assert list(tmp_path.glob("*.json")), "sweep cache should be populated"
+        # Warm-cache re-run produces the same table.
+        assert main(argv) == 0
+        assert "fig02" in capsys.readouterr().out
+
+    def test_no_cache_flag(self, capsys):
+        assert main(["experiments", "fig02", "--quick", "--no-cache"]) == 0
+        assert "regime" in capsys.readouterr().out
