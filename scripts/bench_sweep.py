@@ -1,10 +1,11 @@
 """Benchmark: seed-style serial experiment loop vs the sweep engine.
 
 Usage:  python scripts/bench_sweep.py [--trials N] [--jobs N] [--quick/--full]
+            [--scenario NAME] [--append-json PATH]
 
 Measures one representative controlled-cluster figure (Fig 6: 5 strategies
-× 4 straggler counts) and one large-cluster figure (Fig 13: 50 workers)
-under three regimes:
+× 4 straggler counts), one large-cluster figure (Fig 13: 50 workers), and
+one repair-heavy high-straggler iteration batch under three regimes:
 
 * **serial sessions** — the seed repository's path: one full
   :class:`CodedSession` per (cell, trial), complete with encode / numeric
@@ -15,18 +16,37 @@ under three regimes:
   comes from batching alone);
 * **sweep, warm cache** — a re-run against the on-disk result cache.
 
-The per-trial numbers of the two compute paths are identical (the batch
-engine is bitwise-equivalent by construction — see
-``tests/runtime/test_batch.py``), so the comparison is pure overhead.
+The repair-path bench drives a mis-predicted S2C2 plan under a registered
+straggler scenario (``--scenario``, see ``python -m repro scenarios``) so
+that (nearly) every trial arms the §4.3 timeout, and compares the natively
+batched repair resolution against the per-trial scalar loop it replaced.
+
+The per-trial numbers of the compute paths are identical (the batch engine
+is bitwise-equivalent by construction — see ``tests/runtime/test_batch.py``
+and ``tests/cluster/test_simulator_batch.py``), so every comparison is
+pure overhead.
+
+``--append-json PATH`` appends one JSON line per run (timestamp, config,
+timings) — ``scripts/smoke.sh bench`` uses it to grow ``BENCH_SWEEP.json``
+so the performance trajectory is tracked across PRs.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import tempfile
 import time
 
 import numpy as np
+
+#: Per-scenario overrides making the repair bench straggler-heavy enough
+#: that the timeout deadline arms on (nearly) every trial.
+SCENARIO_BENCH_OVERRIDES = {
+    "controlled": {"num_stragglers": 3},
+    "markov": {"slow_prob": 0.3},
+    "spot": {"preempt_prob": 0.15},
+}
 
 
 def bench_serial_sessions(quick: bool, trials: int) -> float:
@@ -145,6 +165,54 @@ def bench_fig13(quick: bool, trials: int, jobs: int) -> tuple[float, float]:
     return serial, time.perf_counter() - start
 
 
+def bench_repair_path(
+    quick: bool, trials: int, scenario: str
+) -> tuple[float, float, float]:
+    """High-straggler repair bench: scalar per-trial loop vs native batch.
+
+    Returns ``(scalar_seconds, batch_seconds, repaired_fraction)``.  The
+    plan is built from all-equal predicted speeds and executed against the
+    scenario's straggler-laden actual speeds, so the §4.3 deadline fires —
+    exactly the trials that fell off the fast batch path before the native
+    repair resolution.
+    """
+    from repro.cluster.network import CostModel, NetworkModel
+    from repro.cluster.scenarios import scenario_batch
+    from repro.cluster.simulator import CodedIterationSim
+    from repro.coding.partition import ChunkGrid
+    from repro.experiments.sweep import SEED_STRIDE
+    from repro.scheduling.s2c2 import GeneralS2C2Scheduler
+    from repro.scheduling.timeout import TimeoutPolicy
+
+    n, coverage = 10, 7
+    rows, chunks = (2000, 2000) if quick else (10_000, 10_000)
+    sim = CodedIterationSim(
+        grid=ChunkGrid(rows, chunks),
+        width=64,
+        timeout=TimeoutPolicy(slack=0.1),
+        network=NetworkModel(latency=5e-6, bandwidth=2.5e8),
+        cost=CostModel(worker_flops=5e7),
+    )
+    plan = GeneralS2C2Scheduler(coverage=coverage, num_chunks=chunks).plan(
+        np.ones(n)
+    )
+    overrides = SCENARIO_BENCH_OVERRIDES.get(scenario, {})
+    seeds = [SEED_STRIDE * t for t in range(trials)]
+    speeds = scenario_batch(scenario, n, seeds, **overrides).speeds_batch(3)
+
+    start = time.perf_counter()
+    scalar = [sim.run(plan, speeds[t]) for t in range(trials)]
+    scalar_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    batch = sim.run_batch(plan, speeds)
+    batch_s = time.perf_counter() - start
+
+    for t, outcome in enumerate(scalar):  # bitwise contract, cheap to hold
+        assert batch.completion_time[t] == outcome.completion_time, t
+    return scalar_s, batch_s, float(batch.repaired.mean())
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--trials", type=int, default=8)
@@ -152,8 +220,27 @@ def main() -> None:
     parser.add_argument(
         "--full", action="store_true", help="paper-scale sizes (slow)"
     )
+    parser.add_argument(
+        "--scenario",
+        default="controlled",
+        help="straggler scenario for the repair-path bench "
+        "(see `python -m repro scenarios`; default: controlled)",
+    )
+    parser.add_argument(
+        "--append-json",
+        default=None,
+        metavar="PATH",
+        help="append one JSON line with the timings to PATH",
+    )
     args = parser.parse_args()
     quick = not args.full
+    record: dict = {
+        "timestamp": time.time(),
+        "quick": quick,
+        "trials": args.trials,
+        "jobs": args.jobs,
+        "scenario": args.scenario,
+    }
 
     serial = bench_serial_sessions(quick, args.trials)
     print(f"fig06  serial sessions ({args.trials} trials): {serial:7.2f}s")
@@ -165,6 +252,7 @@ def main() -> None:
         )
         warm = bench_sweep(quick, args.trials, args.jobs, cache)
         print(f"fig06  sweep engine  (warm cache):        {warm:7.2f}s")
+    record["fig06"] = {"serial": serial, "sweep": swept, "warm": warm}
 
     serial13, swept13 = bench_fig13(quick, args.trials, args.jobs)
     print(f"fig13  serial sessions ({args.trials} trials): {serial13:7.2f}s")
@@ -172,6 +260,29 @@ def main() -> None:
         f"fig13  sweep engine  (--jobs {args.jobs}, batched): "
         f"{swept13:7.2f}s   ({serial13 / swept13:.1f}x)"
     )
+    record["fig13"] = {"serial": serial13, "sweep": swept13}
+
+    scalar_s, batch_s, repaired = bench_repair_path(
+        quick, args.trials, args.scenario
+    )
+    print(
+        f"repair scalar loop   ({args.trials} trials, scenario "
+        f"{args.scenario}, {repaired:.0%} repaired): {scalar_s:7.2f}s"
+    )
+    print(
+        f"repair native batch:                      {batch_s:7.2f}s   "
+        f"({scalar_s / batch_s:.1f}x)"
+    )
+    record["repair"] = {
+        "scalar": scalar_s,
+        "batch": batch_s,
+        "repaired_fraction": repaired,
+    }
+
+    if args.append_json:
+        with open(args.append_json, "a") as handle:
+            handle.write(json.dumps(record) + "\n")
+        print(f"appended timings to {args.append_json}")
 
 
 if __name__ == "__main__":

@@ -1,8 +1,13 @@
 #!/bin/sh
-# End-to-end smoke check: tier-1 tests, docs links, and one tiny parallel
-# sweep exercising --trials / --jobs / the on-disk cache.
+# End-to-end smoke check: tier-1 tests, docs checkers, one tiny parallel
+# sweep exercising --trials / --jobs / the on-disk cache, and one
+# repair-armed batched scenario sweep.
 #
-# Usage:  sh scripts/smoke.sh
+# Usage:  sh scripts/smoke.sh [bench]
+#
+# The optional `bench` target additionally runs scripts/bench_sweep.py and
+# appends its timings to BENCH_SWEEP.json, so the perf trajectory is
+# tracked across PRs.
 set -e
 cd "$(dirname "$0")/.."
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
@@ -14,10 +19,21 @@ python -m pytest -x -q
 echo "== docs link check =="
 python scripts/check_docs.py
 
+echo "== API reference freshness =="
+python scripts/gen_api_docs.py --check
+
 echo "== tiny parallel sweep (cold, then warm cache) =="
 CACHE="$(mktemp -d)"
 trap 'rm -rf "$CACHE"' EXIT
 python -m repro experiments fig01 --quick --trials 2 --jobs 2 --cache-dir "$CACHE"
 python -m repro experiments fig01 --quick --trials 2 --jobs 2 --cache-dir "$CACHE"
+
+echo "== repair-armed batched scenario sweep =="
+python -m repro experiments scenrepair --quick --trials 2 --jobs 2 --cache-dir "$CACHE"
+
+if [ "$1" = "bench" ]; then
+    echo "== bench (appending to BENCH_SWEEP.json) =="
+    python scripts/bench_sweep.py --trials 4 --jobs 2 --append-json BENCH_SWEEP.json
+fi
 
 echo "smoke OK"

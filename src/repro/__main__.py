@@ -12,6 +12,10 @@ Commands
     ``--no-cache`` is given.
 ``list``
     List the available experiment names with their descriptions.
+``scenarios``
+    List the registered straggler scenarios (sweepable by name, e.g. as
+    the scenario axis of the ``scenlat`` / ``scenrepair`` experiments and
+    of ``scripts/bench_sweep.py --scenario``).
 ``version``
     Print the package version.
 """
@@ -30,6 +34,18 @@ def _cmd_list() -> int:
         module = sys.modules[runner.__module__]
         headline = (module.__doc__ or "").strip().splitlines()[0]
         print(f"{name:8s} {headline}")
+    return 0
+
+
+def _cmd_scenarios() -> int:
+    from repro.cluster.scenarios import available_scenarios, get_scenario
+
+    for name in available_scenarios():
+        spec = get_scenario(name)
+        defaults = ", ".join(f"{k}={v!r}" for k, v in spec.defaults)
+        print(f"{name:12s} {spec.summary}")
+        print(f"{'':12s}   models: {spec.models}")
+        print(f"{'':12s}   params: {defaults or '(none)'}")
     return 0
 
 
@@ -111,6 +127,9 @@ def build_parser() -> argparse.ArgumentParser:
         "~/.cache/repro/sweeps)",
     )
     sub.add_parser("list", help="list available experiments")
+    sub.add_parser(
+        "scenarios", help="list the registered straggler scenarios"
+    )
     sub.add_parser("version", help="print the package version")
     return parser
 
@@ -122,6 +141,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_experiments(args)
     if args.command == "list":
         return _cmd_list()
+    if args.command == "scenarios":
+        return _cmd_scenarios()
     if args.command == "version":
         from repro import __version__
 

@@ -6,12 +6,20 @@
   :class:`~repro.cluster.speed_models.TraceSpeeds` — actual-speed processes.
 * :class:`~repro.cluster.simulator.CodedIterationSim` and friends — exact
   per-iteration timelines for every strategy.
+* :mod:`repro.cluster.scenarios` — the pluggable straggler-scenario
+  registry (named speed processes, sweepable by string).
 * :class:`~repro.cluster.local.LocalMDSExecutor` — real multiprocessing
   execution of coded jobs (correctness path).
 """
 
 from repro.cluster.local import LocalExecutionReport, LocalMDSExecutor
 from repro.cluster.network import CostModel, NetworkModel
+from repro.cluster.scenarios import (
+    available_scenarios,
+    register_scenario,
+    scenario_batch,
+    scenario_speed_model,
+)
 from repro.cluster.simulator import (
     CodedIterationOutcome,
     CodedIterationSim,
@@ -42,4 +50,8 @@ __all__ = [
     "TraceSpeeds",
     "UncodedIterationOutcome",
     "WorkerIterationStats",
+    "available_scenarios",
+    "register_scenario",
+    "scenario_batch",
+    "scenario_speed_model",
 ]

@@ -31,13 +31,19 @@ speed matrix in one call.  The two plan shapes every scheduler here produces
 everything) and *exact-coverage* plans (S2C2's no-wasted-work wraparound
 layout) — admit closed-form batch timelines, so arrivals, completion times
 and the computed/used accounting are evaluated with stacked numpy arrays
-across all trials at once.  Trials that trigger the §4.3 timeout repair (or
-an unclassifiable plan) fall back to the scalar :meth:`~CodedIterationSim.run`
-for that trial, so batched results are *exactly* equal to a per-trial loop
-by construction.  :meth:`ReplicationIterationSim.run_batch` vectorizes the
-arrival computation and resolves the (inherently sequential) speculation
-decisions per trial; over-decomposition stays scalar — its closed-form
-per-worker sums leave nothing to batch.
+across all trials at once.  Trials that arm the §4.3 timeout are resolved
+*natively* on the batch path: the repair decision replays on the already
+vectorized arrival matrix and cached per-plan chunk geometry — closed-form
+repair arrivals, opportunistic-straggler acceptance, and the timed-out
+progress accounting mirror :meth:`~CodedIterationSim.run` float-op for
+float-op, so repair-armed trials stay bitwise-equal to a per-trial loop
+without paying the scalar simulator's per-worker row expansion.  Only plans
+of an unclassifiable shape delegate to the scalar path.
+:meth:`ReplicationIterationSim.run_batch` vectorizes the arrival
+computation and resolves the (inherently sequential) speculation decisions
+per trial; :meth:`OverDecompositionIterationSim.run_batch` stacks the
+per-worker chunk timelines — migration fetches, compute, reply — across
+all trials at once, with the same bitwise-equality contract.
 """
 
 from __future__ import annotations
@@ -58,6 +64,7 @@ __all__ = [
     "WorkerIterationStats",
     "CodedIterationOutcome",
     "BatchCodedOutcome",
+    "BatchUncodedOutcome",
     "CodedIterationSim",
     "UncodedIterationOutcome",
     "ReplicationIterationSim",
@@ -186,8 +193,21 @@ class _PlanProfile:
 
     kind: str  # "full" | "exact" | "general"
     rows: np.ndarray  # (n,) assigned rows per worker
+    chunk_counts: np.ndarray  # (n,) assigned chunks per worker
     n_active: int
     decode_groups: int  # groups for decode_time on the natural path
+    #: Lazily filled worker → sorted chunk-index array cache, shared by
+    #: every repair-armed trial of this plan (expansion is O(chunks) and
+    #: the arrays are read-only inputs to ``repair_assignments``).
+    chunk_cache: dict = field(default_factory=dict)
+
+    def chunks_of(self, plan: CodedWorkPlan, worker: int) -> np.ndarray:
+        """Worker's sorted chunk indices (memoised per plan profile)."""
+        cached = self.chunk_cache.get(worker)
+        if cached is None:
+            cached = plan.assignments[worker].chunk_indices()
+            self.chunk_cache[worker] = cached
+        return cached
 
 
 @dataclass(frozen=True)
@@ -483,6 +503,7 @@ class CodedIterationSim:
         offsets = self.grid.chunk_offsets()
         num_chunks = plan.num_chunks
         rows = np.zeros(plan.n_workers, dtype=np.int64)
+        chunk_counts = np.zeros(plan.n_workers, dtype=np.int64)
         full = True
         coverage = np.zeros(num_chunks, dtype=np.int64)
         for w, assignment in enumerate(plan.assignments):
@@ -490,6 +511,7 @@ class CodedIterationSim:
                 full = False
             for begin, end in assignment.ranges:
                 rows[w] += int(offsets[end] - offsets[begin])
+                chunk_counts[w] += end - begin
                 coverage[begin:end] += 1
         n_active = int(np.count_nonzero(rows))
         if full:
@@ -502,7 +524,11 @@ class CodedIterationSim:
             kind = "general"
             groups = 0
         return _PlanProfile(
-            kind=kind, rows=rows, n_active=n_active, decode_groups=groups
+            kind=kind,
+            rows=rows,
+            chunk_counts=chunk_counts,
+            n_active=n_active,
+            decode_groups=groups,
         )
 
     def _batch_deadlines(
@@ -528,6 +554,106 @@ class CodedIterationSim:
             )
         return deadlines
 
+    def _repair_batch_trial(
+        self,
+        plan: CodedWorkPlan,
+        profile: _PlanProfile,
+        speeds_t: np.ndarray,
+        arrivals_t: np.ndarray,
+        deadline: float,
+        natural_done: float,
+        failed: frozenset[int],
+        broadcast: float,
+        chunk_sizes: np.ndarray,
+    ):
+        """Resolve the §4.3 repair decision for one armed trial, natively.
+
+        Mirrors :meth:`_attempt_repair` plus :meth:`run`'s repaired-branch
+        accounting on the batch path's precomputed arrival row and the
+        plan profile's cached chunk geometry — every float operation
+        (repair arrivals via :meth:`_arrival`, cancelled progress via
+        :meth:`_progress_rows`, the greedy :func:`repair_assignments`)
+        is the same code the scalar path runs, so results are bitwise
+        identical without re-simulating the whole trial.
+
+        Returns ``None`` when the master falls back to waiting for
+        stragglers (no feasible reassignment, or the repair would finish
+        after the natural completion — the opportunistic rule), else
+        ``(finish, decode, computed, used, responded)`` per-trial arrays.
+        """
+        n = plan.n_workers
+        rows = profile.rows
+        active = [int(w) for w in np.flatnonzero(rows > 0)]
+        order = sorted(active, key=lambda w: (arrivals_t[w], w))
+        idle_alive = [
+            w
+            for w in range(n)
+            if profile.chunk_counts[w] == 0 and w not in failed
+        ]
+        later_arrivals = sorted(
+            arrivals_t[w] for w in order if deadline < arrivals_t[w] < np.inf
+        )
+        outcome = None
+        for cutoff in [deadline, *later_arrivals]:
+            finished = {
+                w: profile.chunks_of(plan, w)
+                for w in order
+                if arrivals_t[w] <= cutoff
+            }
+            for w in idle_alive:
+                finished.setdefault(w, np.empty(0, dtype=np.int64))
+            laggards = frozenset(w for w in order if arrivals_t[w] > cutoff)
+            if not laggards or not finished:
+                return None
+            try:
+                extra = repair_assignments(plan, finished, speeds_t)
+            except ValueError:
+                continue  # wait for the next response, then reconsider
+            extra_rows: dict[int, int] = {}
+            finish = cutoff
+            dispatch = cutoff + self.network.latency  # reassignment message
+            for w, chunks in extra.items():
+                cnt = int(chunk_sizes[chunks].sum())
+                extra_rows[w] = cnt
+                arrival = self._arrival(cnt, speeds_t[w], dispatch)
+                finish = max(finish, arrival)
+            outcome = (finished, extra_rows, laggards, finish)
+            break
+        # Opportunistic repair: accept only when it beats the stragglers.
+        if outcome is None or outcome[3] >= natural_done:
+            return None
+        finished, extra_rows, laggards, finish = outcome
+
+        computed = np.zeros(n)
+        used = np.zeros(n, dtype=np.int64)
+        responded = np.zeros(n, dtype=bool)
+        for w in active:
+            if w in laggards:
+                if w not in failed:
+                    computed[w] = self._progress_rows(
+                        speeds_t[w], broadcast, deadline, int(rows[w])
+                    )
+                continue
+            if arrivals_t[w] <= finish:
+                computed[w] = float(rows[w])
+                responded[w] = True
+            elif w not in failed:  # pragma: no cover - finished <= cutoff
+                computed[w] = self._progress_rows(
+                    speeds_t[w], broadcast, finish, int(rows[w])
+                )
+        for w in finished:
+            used[w] = int(rows[w])
+        for w, cnt in extra_rows.items():
+            used[w] += cnt
+            computed[w] = float(int(rows[w]) + cnt)
+        decode = self.cost.decode_time(
+            rows=self.grid.rows,
+            coverage=plan.coverage,
+            width_out=self.width_out,
+            groups=max(1, len(finished)),
+        )
+        return finish, decode, computed, used, responded
+
     def run_batch(
         self,
         plans: CodedWorkPlan | Sequence[CodedWorkPlan],
@@ -549,8 +675,9 @@ class CodedIterationSim:
 
         Returns per-trial results exactly equal to looping
         :meth:`run` — full and exact-coverage plans take closed-form
-        vectorized timelines; trials that arm the timeout repair (and plans
-        of any other shape) are delegated to the scalar path.
+        vectorized timelines, repair-armed trials are resolved natively on
+        those timelines (see :meth:`_repair_batch_trial`); only plans of
+        any other shape are delegated to the scalar path.
         """
         speeds, trials, failed_list = _normalise_batch(speeds, failed_workers)
         n = speeds.shape[1]
@@ -610,9 +737,8 @@ class CodedIterationSim:
             done[exact_rows] = masked.max(axis=1)
 
         deadlines = self._batch_deadlines(sorted_arr, coverages)
-        fallback = (kinds == "general") | (
-            ~np.isnan(deadlines) & (done > deadlines)
-        ) | np.isinf(done)
+        fallback = kinds == "general"
+        armed = ~fallback & ~np.isnan(deadlines) & (done > deadlines)
 
         assigned = rows_mat.copy()
         computed = np.zeros((trials, n))
@@ -622,7 +748,37 @@ class CodedIterationSim:
         decode = np.zeros(trials)
         completion = np.zeros(trials)
 
-        fast = ~fallback
+        # Native §4.3 repair resolution on the precomputed arrival matrix.
+        if np.any(armed):
+            chunk_sizes = np.diff(self.grid.chunk_offsets())
+            for t in np.flatnonzero(armed):
+                result = self._repair_batch_trial(
+                    plan_list[t],
+                    profiles[id(plan_list[t])],
+                    speeds[t],
+                    arrivals[t],
+                    float(deadlines[t]),
+                    float(done[t]),
+                    failed_list[t],
+                    broadcast,
+                    chunk_sizes,
+                )
+                if result is None:
+                    continue  # rejected: the trial completes naturally
+                finish, decode_t, computed_t, used_t, responded_t = result
+                repaired[t] = True
+                completion[t] = finish + decode_t
+                decode[t] = decode_t
+                computed[t] = computed_t
+                used[t] = used_t
+                responded[t] = responded_t
+
+        fast = ~fallback & ~repaired
+        if np.any(np.isinf(done) & fast):
+            raise RuntimeError(
+                "iteration cannot complete: coverage unsatisfiable with "
+                "the surviving workers and no repair possible"
+            )
         if np.any(fast):
             resp = active & (arrivals <= done[:, None]) & fast[:, None]
             # Partial progress of cancelled stragglers (mirrors
@@ -667,8 +823,8 @@ class CodedIterationSim:
                 )
             completion[fast] = done[fast] + decode[fast]
 
-        # Repair-armed, unsatisfiable, or unclassified trials: the scalar
-        # simulator is the semantics of record.
+        # Unclassified plan shapes: the scalar simulator is the semantics
+        # of record.
         for t in np.flatnonzero(fallback):
             outcome = self.run(plan_list[t], speeds[t], failed_list[t])
             completion[t] = outcome.completion_time
@@ -707,6 +863,30 @@ class UncodedIterationOutcome:
     def wasted_fraction_per_worker(self) -> np.ndarray:
         """Per-worker wasted-computation fraction (duplicated task copies)."""
         return np.array([w.wasted_fraction for w in self.workers])
+
+
+@dataclass
+class BatchUncodedOutcome:
+    """Stacked outcomes of ``trials`` uncoded iterations (one row per trial).
+
+    Per-trial values equal what the scalar ``run`` returns for that trial's
+    (plan, speeds) pair; the ``partition_owner`` map is not materialised
+    (latency/waste sweeps never read it — use the scalar path when the
+    ownership detail is needed).
+    """
+
+    completion_time: np.ndarray  # (trials,)
+    broadcast_time: float
+    assigned_rows: np.ndarray  # (trials, workers)
+    computed_rows: np.ndarray  # (trials, workers)
+    used_rows: np.ndarray  # (trials, workers)
+    responded: np.ndarray  # (trials, workers) bool
+    data_moved_bytes: np.ndarray  # (trials,)
+    migrations: np.ndarray  # (trials,)
+
+    @property
+    def n_trials(self) -> int:
+        return self.completion_time.size
 
 
 @dataclass(frozen=True)
@@ -971,4 +1151,102 @@ class OverDecompositionIterationSim:
             partition_owner=owner,
             data_moved_bytes=data_moved,
             migrations=int(plan.migrated.sum()),
+        )
+
+    def run_batch(
+        self,
+        plans: OverDecompositionPlan | Sequence[OverDecompositionPlan],
+        speeds: np.ndarray,
+        failed_workers: frozenset[int] | Sequence[frozenset[int]] = frozenset(),
+    ) -> BatchUncodedOutcome:
+        """Simulate a ``(trials, workers)`` batch of over-decomposition trials.
+
+        ``plans`` is one plan shared by every trial or one per trial
+        (long-running sessions re-plan each iteration as copies migrate,
+        so the per-trial form is the common one).  The per-worker chunk
+        timelines — migration fetches, compute, reply — are evaluated with
+        stacked arrays across all trials, mirroring :meth:`run` float-op
+        for float-op: per-trial results are bitwise-equal to a scalar loop.
+        """
+        speeds, trials, failed_list = _normalise_batch(speeds, failed_workers)
+        n = speeds.shape[1]
+        if isinstance(plans, OverDecompositionPlan):
+            plan_list: list[OverDecompositionPlan] = [plans] * trials
+        else:
+            plan_list = list(plans)
+            if len(plan_list) != trials:
+                raise ValueError(
+                    f"got {len(plan_list)} plans for {trials} trials"
+                )
+
+        # Per-distinct-plan constants (duplicate plan objects profiled once):
+        # partition and migration counts per worker, plus the owner set for
+        # the failure check.
+        profiles: dict[int, tuple[np.ndarray, np.ndarray, frozenset[int]]] = {}
+        for p in plan_list:
+            if id(p) not in profiles:
+                owner = np.asarray(p.owner)
+                if owner.size and (owner.min() < 0 or owner.max() >= n):
+                    raise ValueError("plan owner index out of range for batch")
+                counts = np.bincount(owner, minlength=n).astype(np.int64)
+                migr = np.bincount(
+                    owner[np.asarray(p.migrated, dtype=bool)], minlength=n
+                ).astype(np.int64)
+                profiles[id(p)] = (counts, migr, frozenset(np.unique(owner).tolist()))
+        for t, failed in enumerate(failed_list):
+            if failed & profiles[id(plan_list[t])][2]:
+                raise RuntimeError(
+                    "a failed worker owns partitions; over-decomposition has "
+                    "no repair path within an iteration"
+                )
+
+        counts_mat = np.stack([profiles[id(p)][0] for p in plan_list])
+        migr_mat = np.stack([profiles[id(p)][1] for p in plan_list])
+        active = counts_mat > 0
+        rows_mat = self.rows_per_partition * counts_mat
+
+        broadcast = self.network.transfer_time(
+            self.width * self.cost.bytes_per_element
+        )
+        partition_bytes = self.rows_per_partition * self.cost.row_bytes(self.width)
+        # The scalar path charges each migration fetch as a separate
+        # left-to-right float addition; a cumulative table replays that
+        # exact rounding sequence for every possible migration count.
+        max_migr = int(migr_mat.max()) if migr_mat.size else 0
+        fetch_table = np.concatenate(
+            [
+                [0.0],
+                np.cumsum(
+                    np.full(max_migr, self.network.transfer_time(partition_bytes))
+                ),
+            ]
+        )
+        fetch = fetch_table[migr_mat]
+        # Compute and reply mirror CostModel.compute_time / transfer_time
+        # term by term so batched arrivals are bit-identical.
+        compute = (rows_mat * self.width * self.cost.flops_per_element) / (
+            self.cost.worker_flops * speeds
+        )
+        reply = self.network.latency + (
+            rows_mat * self.cost.row_bytes(self.width_out)
+        ) / self.network.bandwidth
+        arrival = ((broadcast + fetch) + compute) + reply
+
+        completion = np.max(arrival, axis=1, initial=0.0, where=active)
+        # Scalar accumulation order: workers ascending, one addition each.
+        data_moved = np.zeros(trials)
+        for w in range(n):
+            data_moved = data_moved + migr_mat[:, w] * partition_bytes
+        migrations = np.array(
+            [int(np.asarray(p.migrated).sum()) for p in plan_list], dtype=np.int64
+        )
+        return BatchUncodedOutcome(
+            completion_time=completion,
+            broadcast_time=broadcast,
+            assigned_rows=np.where(active, rows_mat, 0),
+            computed_rows=np.where(active, rows_mat, 0).astype(np.float64),
+            used_rows=np.where(active, rows_mat, 0),
+            responded=active,
+            data_moved_bytes=data_moved,
+            migrations=migrations,
         )

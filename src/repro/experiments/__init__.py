@@ -17,6 +17,8 @@ from repro.experiments import (
     fig11_waste_high,
     fig12_polynomial,
     fig13_scale,
+    scen_latency,
+    scen_repair,
     sec61_prediction,
 )
 from repro.experiments.harness import ExperimentResult
@@ -33,6 +35,8 @@ ALL_EXPERIMENTS = {
     "fig11": fig11_waste_high.run,
     "fig12": fig12_polynomial.run,
     "fig13": fig13_scale.run,
+    "scenlat": scen_latency.run,
+    "scenrepair": scen_repair.run,
     "sec61": sec61_prediction.run,
 }
 

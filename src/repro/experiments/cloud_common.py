@@ -29,7 +29,7 @@ import numpy as np
 from repro.cluster.speed_models import StackedSpeeds, TraceSpeeds
 from repro.experiments.harness import (
     run_coded_lr_like_batch,
-    run_overdecomposition_lr_like,
+    run_overdecomposition_lr_like_batch,
 )
 from repro.experiments.sweep import SweepContext
 from repro.prediction.lstm import LSTMSpeedModel
@@ -144,21 +144,20 @@ def _cloud_cell_memo(environment: str, ctx: SweepContext) -> dict:
     total: dict[str, list[float]] = {}
     wasted: dict[str, list[list[float]]] = {}
 
-    # Over-decomposition: per-trial sessions (a zero matrix — the latency
-    # never depends on the numeric payload).
-    matrix = np.zeros((rows, cols))
-    over_total, over_wasted = [], []
-    for t in range(ctx.trials):
-        session = run_overdecomposition_lr_like(
-            matrix,
-            TraceSpeeds(traces[t]),
-            _warmed_predictor(lstm, histories[t], N_WORKERS),
-            iterations=iterations,
-        )
-        over_total.append(session.metrics.total_time)
-        over_wasted.append(session.metrics.wasted_fraction_of_assigned().tolist())
-    total["over-decomposition"] = over_total
-    wasted["over-decomposition"] = over_wasted
+    # Over-decomposition: all trials at once through the batched runner
+    # (bitwise-equal to per-trial sessions; the latency never depends on
+    # the numeric payload).
+    over = run_overdecomposition_lr_like_batch(
+        rows,
+        cols,
+        StackedSpeeds([TraceSpeeds(tr) for tr in traces]),
+        StackedPredictor(
+            [_warmed_predictor(lstm, h, N_WORKERS) for h in histories]
+        ),
+        iterations=iterations,
+    )
+    total["over-decomposition"] = [float(v) for v in over.total_time]
+    wasted["over-decomposition"] = over.wasted_fraction_of_assigned().tolist()
 
     misprediction: list[float] = [0.0] * ctx.trials
     for n in CODE_VARIANTS:

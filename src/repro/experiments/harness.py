@@ -16,7 +16,11 @@ import numpy as np
 from repro.cluster.network import CostModel, NetworkModel
 from repro.cluster.speed_models import BatchSpeedModel, SpeedModel
 from repro.prediction.predictor import BatchPredictor, OnlinePredictor
-from repro.runtime.batch import BatchCodedRunner, BatchRunMetrics
+from repro.runtime.batch import (
+    BatchCodedRunner,
+    BatchOverDecompositionRunner,
+    BatchRunMetrics,
+)
 from repro.runtime.session import (
     CodedSession,
     OverDecompositionSession,
@@ -33,6 +37,7 @@ __all__ = [
     "run_coded_lr_like_batch",
     "run_replicated_lr_like",
     "run_overdecomposition_lr_like",
+    "run_overdecomposition_lr_like_batch",
 ]
 
 
@@ -213,6 +218,37 @@ def run_replicated_lr_like(
     session.register_matvec("At", matrix.T)
     _lr_like_loop(session, matrix.shape[1], iterations, np.random.default_rng(seed))
     return session
+
+
+def run_overdecomposition_lr_like_batch(
+    n_rows: int,
+    n_cols: int,
+    speed_model: BatchSpeedModel,
+    predictor: BatchPredictor,
+    iterations: int = 15,
+    factor: int = 4,
+    replication: float = 1.42,
+) -> BatchRunMetrics:
+    """Latency-only twin of :func:`run_overdecomposition_lr_like` for a batch.
+
+    Plays the 'A then Aᵀ' round pattern on an ``(n_rows, n_cols)`` matrix
+    geometry over-decomposed into ``factor × n`` partitions.  Trial ``t``
+    reproduces a single-trial session seeded the same way, bit for bit.
+    """
+    runner = BatchOverDecompositionRunner(
+        speed_model=speed_model,
+        predictor=predictor,
+        network=controlled_network(),
+        cost=controlled_cost(),
+        factor=factor,
+        replication=replication,
+    )
+    runner.register_matvec("A", n_rows, n_cols)
+    runner.register_matvec("At", n_cols, n_rows)
+    for _ in range(iterations):
+        runner.matvec("A")
+        runner.matvec("At")
+    return runner.metrics
 
 
 def run_overdecomposition_lr_like(

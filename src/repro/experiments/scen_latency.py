@@ -1,0 +1,117 @@
+"""Scenario sweep — S2C2 vs conventional MDS across straggler scenarios.
+
+Beyond the paper's two environments (controlled cluster, drifting cloud),
+this experiment sweeps every registered straggler scenario
+(:mod:`repro.cluster.scenarios`) as a first-class axis and reports the
+relative execution time of S2C2 (with §4.3 timeout repair) against
+conventional (n, k)-MDS coded computation facing the *identical* speed
+draws, plus their ratio.
+
+Expected shapes: S2C2 clearly below MDS wherever speeds are predictable —
+including ``constant``, where the squeeze approaches the ``k/n`` bound
+(every worker computes only its share instead of a full partition) — and
+under ``controlled`` / ``markov``, whose persistent slowness the online
+predictor tracks after one iteration.  The advantage narrows, and can
+invert, where slowness arrives abruptly (``bursty``, volatile ``traces``):
+stale forecasts mis-shape the exact-coverage plan and the timeout repair
+has to claw the iteration back, while conventional MDS simply rides its
+``n − k`` slack.
+
+Runs as a scenario × strategy sweep; every cell simulates all trials at
+once through the batched latency engine, including the natively batched
+repair path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.scenarios import available_scenarios, scenario_batch
+from repro.experiments.harness import ExperimentResult, run_coded_lr_like_batch
+from repro.experiments.sweep import SweepContext, SweepRunner, SweepSpec
+from repro.prediction.predictor import LastValuePredictor, StackedPredictor
+from repro.scheduling.s2c2 import GeneralS2C2Scheduler
+from repro.scheduling.static import StaticCodedScheduler
+from repro.scheduling.timeout import TimeoutPolicy
+
+__all__ = ["run", "main", "N_WORKERS", "COVERAGE", "STRATEGIES"]
+
+N_WORKERS = 12
+COVERAGE = 8
+STRATEGIES = ("mds", "s2c2")
+
+
+def _cell(params: dict, ctx: SweepContext) -> list[float]:
+    """Per-trial total LR-like time for one (scenario, strategy) point."""
+    scenario = params["scenario"]
+    strategy = params["strategy"]
+    rows, cols = (480, 120) if ctx.quick else (2400, 600)
+    iterations = 4 if ctx.quick else 15
+    if strategy == "s2c2":
+        scheduler = GeneralS2C2Scheduler(coverage=COVERAGE, num_chunks=10_000)
+        timeout = TimeoutPolicy()
+    else:
+        scheduler = StaticCodedScheduler(coverage=COVERAGE, num_chunks=10_000)
+        timeout = None
+    metrics = run_coded_lr_like_batch(
+        rows,
+        cols,
+        COVERAGE,
+        scheduler,
+        scenario_batch(scenario, N_WORKERS, ctx.seeds),
+        StackedPredictor([LastValuePredictor(N_WORKERS) for _ in ctx.seeds]),
+        iterations=iterations,
+        timeout=timeout,
+    )
+    return [float(v) for v in metrics.total_time]
+
+
+def run(
+    quick: bool = True,
+    seed: int = 0,
+    trials: int = 1,
+    runner: SweepRunner | None = None,
+) -> ExperimentResult:
+    """Sweep every registered scenario; normalise per trial before averaging."""
+    scenarios = available_scenarios()
+    spec = SweepSpec(
+        name="scenlat",
+        cell=_cell,
+        axes=(("scenario", scenarios), ("strategy", STRATEGIES)),
+        trials=trials,
+        base_seed=seed,
+        quick=quick,
+    )
+    swept = (runner or SweepRunner()).run(spec)
+    result = ExperimentResult(
+        name="scenlat",
+        description=(
+            f"LR time per straggler scenario, ({N_WORKERS},{COVERAGE}) code: "
+            "S2C2+repair vs conventional MDS"
+        ),
+        columns=("scenario", "mds", "s2c2", "s2c2/mds"),
+    )
+    for scenario in scenarios:
+        mds = np.asarray(swept.get(scenario=scenario, strategy="mds"))
+        s2c2 = np.asarray(swept.get(scenario=scenario, strategy="s2c2"))
+        result.add_row(
+            scenario,
+            float(np.mean(mds)),
+            float(np.mean(s2c2)),
+            float(np.mean(s2c2 / mds)),
+        )
+    result.notes = (
+        "expected: s2c2/mds well below 1 under predictable scenarios "
+        "(constant approaches k/n; controlled/markov tracked after one "
+        "iteration); the ratio climbs toward (or past) 1 under abrupt "
+        "scenarios (bursty, volatile traces) where forecasts go stale"
+    )
+    return result
+
+
+def main() -> None:
+    print(run(quick=False).format_table())
+
+
+if __name__ == "__main__":
+    main()

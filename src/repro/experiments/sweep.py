@@ -20,10 +20,14 @@ Caching
 -------
 A cell's key hashes the cell function's identity, *the source bytes of the
 whole ``repro`` package* (a cell's value depends on the simulators and
-schedulers it calls into, not just its own module), the cell parameters,
-the seeds, the quick flag, and the package version.  Any source edit
-therefore invalidates the cache — correctness over incrementality; the
-incremental wins come from re-runs and grown grids with unchanged code.
+schedulers it calls into, not just its own module), the straggler-scenario
+registry contents (cells resolve scenarios by name, and scenarios may be
+registered at runtime from outside the package tree — see
+:func:`repro.cluster.scenarios.registry_digest`), the cell parameters,
+the seeds, the quick flag, and the package version.  Any source edit or
+registry change therefore invalidates the cache — correctness over
+incrementality; the incremental wins come from re-runs and grown grids
+with unchanged code.
 Values are stored as JSON (one file per cell), so cells must return
 JSON-serialisable structures — floats, lists, dicts; numpy scalars and
 arrays are converted on the way in.
@@ -236,9 +240,16 @@ class SweepRunner:
                 )
 
     def _cell_key(self, spec: SweepSpec, params: dict, ctx: SweepContext) -> str:
+        # Imported lazily (and not lru-cached like the package digest):
+        # the registry can gain scenarios at runtime, and a cell resolving
+        # a scenario by name must never hit a cache entry computed under a
+        # different registry.
+        from repro.cluster.scenarios import registry_digest
+
         identity = {
             "cell": f"{spec.cell.__module__}.{spec.cell.__qualname__}",
             "source": _package_source_digest(),
+            "scenarios": registry_digest(),
             "params": _jsonable(params),
             "seeds": list(ctx.seeds),
             "quick": ctx.quick,

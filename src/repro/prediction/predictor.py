@@ -43,6 +43,7 @@ __all__ = [
     "StalePredictor",
     "StackedPredictor",
     "misprediction_rate",
+    "conformal_interval",
 ]
 
 
@@ -63,6 +64,39 @@ def misprediction_rate(
         return 0.0
     rel = np.abs(predicted - actual) / np.maximum(actual, 1e-12)
     return float(np.mean(rel > tolerance))
+
+
+def conformal_interval(
+    residuals: np.ndarray, predicted: np.ndarray, alpha: float = 0.1
+) -> tuple[np.ndarray, np.ndarray]:
+    """Split-conformal prediction band around point speed forecasts.
+
+    Given held-out absolute residuals ``|predicted - actual|`` from past
+    iterations, returns ``(lower, upper)`` bounds such that the next true
+    speed falls inside with probability ``>= 1 - alpha`` under
+    exchangeability — the inductive confidence machine of Papadopoulos et
+    al. (ECML '02), model-agnostic, so it wraps the LSTM, AR, and
+    last-value predictors alike.  The band half-width is the
+    ``ceil((m + 1)(1 - alpha)) / m`` empirical residual quantile (the
+    finite-sample correction); lower bounds are clipped to stay positive,
+    matching the simulators' positive-speed contract.
+    """
+    residuals = np.abs(np.asarray(residuals, dtype=np.float64).ravel())
+    residuals = residuals[~np.isnan(residuals)]
+    predicted = np.asarray(predicted, dtype=np.float64)
+    if not 0 < alpha < 1:
+        raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+    if residuals.size == 0:
+        raise ValueError("at least one calibration residual is required")
+    m = residuals.size
+    rank = int(np.ceil((m + 1) * (1.0 - alpha)))
+    if rank > m:
+        # Too few calibration points for the requested coverage: the
+        # honest finite-sample band is unbounded; fall back to the max
+        # residual (the widest empirical statement the data supports).
+        rank = m
+    width = np.sort(residuals)[rank - 1]
+    return np.clip(predicted - width, 1e-12, None), predicted + width
 
 
 @runtime_checkable

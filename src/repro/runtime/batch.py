@@ -15,10 +15,14 @@ timelines, and :class:`~repro.prediction.predictor.StackedPredictor` keeps
 per-trial forecast state.  ``tests/runtime/test_batch.py`` pins this
 equality against real :class:`CodedSession` runs.
 
-Uncoded baselines (replication, over-decomposition) intentionally stay on
-the session path: their per-iteration numerics are a single mat-vec — there
-is nothing worth skipping — and their speculation/migration control flow is
-sequential by nature.
+:class:`BatchOverDecompositionRunner` does the same for the Charm++-like
+over-decomposition baseline: per-trial partition plans (the holder tables
+evolve independently per trial, exactly as
+:class:`~repro.runtime.session.OverDecompositionSession` evolves them) feed
+:meth:`~repro.cluster.simulator.OverDecompositionIterationSim.run_batch`'s
+stacked timeline.  The replication baseline intentionally stays on the
+session path: its speculation control flow is sequential by nature and its
+per-iteration numerics are a single mat-vec.
 """
 
 from __future__ import annotations
@@ -28,15 +32,23 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.cluster.network import CostModel, NetworkModel
-from repro.cluster.simulator import CodedIterationSim
+from repro.cluster.simulator import CodedIterationSim, OverDecompositionIterationSim
 from repro.cluster.speed_models import BatchSpeedModel
 from repro.coding.partition import ChunkGrid, RowPartition
 from repro.prediction.predictor import BatchPredictor, misprediction_rate
 from repro.runtime.session import _harmonise_granularity
 from repro.scheduling.base import Scheduler, plan_batch
+from repro.scheduling.overdecomposition import (
+    OverDecompositionPlacement,
+    plan_assignment,
+)
 from repro.scheduling.timeout import TimeoutPolicy
 
-__all__ = ["BatchRunMetrics", "BatchCodedRunner"]
+__all__ = [
+    "BatchRunMetrics",
+    "BatchCodedRunner",
+    "BatchOverDecompositionRunner",
+]
 
 
 @dataclass
@@ -255,5 +267,114 @@ class BatchCodedRunner:
             predicted=predicted,
             actual=actual,
             repaired=outcome.repaired,
+        )
+        self._iteration += 1
+
+
+@dataclass
+class _BatchOverDecompOperator:
+    name: str
+    holders: list[list[tuple[int, ...]]]  # one evolving table per trial
+    sim: OverDecompositionIterationSim
+
+
+@dataclass
+class BatchOverDecompositionRunner:
+    """Latency twin of :class:`~repro.runtime.session.OverDecompositionSession`.
+
+    Plans are still built per trial — each trial's holder table evolves
+    independently as migrated copies become resident — but the simulated
+    chunk timelines (migration fetches, compute, reply) run through the
+    stacked :meth:`~repro.cluster.simulator.OverDecompositionIterationSim.run_batch`
+    path, and the numeric mat-vec payload is skipped entirely.  Trial ``t``
+    is bitwise-identical to a single-trial session built from the same
+    seed.
+    """
+
+    speed_model: BatchSpeedModel
+    predictor: BatchPredictor
+    network: NetworkModel = field(default_factory=NetworkModel)
+    cost: CostModel = field(default_factory=CostModel)
+    factor: int = 4
+    replication: float = 1.42
+    metrics: BatchRunMetrics = field(init=False)
+    _operators: dict[str, _BatchOverDecompOperator] = field(
+        init=False, default_factory=dict
+    )
+    _iteration: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        self.metrics = BatchRunMetrics(
+            n_trials=self.speed_model.n_trials,
+            n_workers=self.speed_model.n_workers,
+        )
+
+    @property
+    def n_workers(self) -> int:
+        return self.speed_model.n_workers
+
+    @property
+    def n_trials(self) -> int:
+        return self.speed_model.n_trials
+
+    def register_matvec(self, name: str, total_rows: int, width: int) -> None:
+        """Register the latency geometry of an over-decomposed mat-vec.
+
+        Mirrors ``OverDecompositionSession.register_matvec`` for a
+        ``total_rows × width`` matrix split into ``factor × n`` partitions —
+        same placement, same per-partition row count, no matrix built.
+        """
+        if name in self._operators:
+            raise ValueError(f"operator {name!r} already registered")
+        placement = OverDecompositionPlacement(
+            self.n_workers, factor=self.factor, replication=self.replication
+        )
+        part = RowPartition(total_rows, placement.num_partitions)
+        sim = OverDecompositionIterationSim(
+            rows_per_partition=part.block_rows,
+            width=width,
+            network=self.network,
+            cost=self.cost,
+        )
+        self._operators[name] = _BatchOverDecompOperator(
+            name=name,
+            holders=[list(placement.holders) for _ in range(self.n_trials)],
+            sim=sim,
+        )
+
+    def matvec(self, name: str) -> None:
+        """Play one over-decomposition round for every trial."""
+        op = self._operators.get(name)
+        if op is None:
+            raise KeyError(f"no matvec operator named {name!r}")
+        actual = np.asarray(
+            self.speed_model.speeds_batch(self._iteration), dtype=np.float64
+        )
+        predicted = np.asarray(self.predictor.predict(), dtype=np.float64)
+        plans = [
+            plan_assignment(
+                op.holders[t],
+                np.clip(predicted[t], 1e-9, None),
+                self.n_workers,
+            )
+            for t in range(self.n_trials)
+        ]
+        outcome = op.sim.run_batch(plans, actual)
+        # Migrated copies become resident on their new worker (per trial).
+        for t, plan in enumerate(plans):
+            holders = op.holders[t]
+            for partition in np.flatnonzero(plan.migrated):
+                worker = int(plan.owner[partition])
+                if worker not in holders[partition]:
+                    holders[partition] = holders[partition] + (worker,)
+        self.predictor.update(np.where(outcome.responded, actual, np.nan))
+        self.metrics.add_round(
+            latency=outcome.completion_time,
+            computed=outcome.computed_rows,
+            used=outcome.used_rows,
+            assigned=outcome.assigned_rows,
+            predicted=predicted,
+            actual=actual,
+            repaired=np.zeros(self.n_trials, dtype=bool),
         )
         self._iteration += 1

@@ -3,15 +3,19 @@
 The contract of every ``run_batch``: per-trial results are *exactly* equal
 (bitwise, not approximately) to looping the scalar ``run`` over the same
 speed rows.  These tests sweep the plan shapes the schedulers produce
-(full, exact-coverage wraparound, repair-armed) plus failures.
+(full, exact-coverage wraparound, repair-armed — including idle-helper
+recruitment, multi-cutoff repair, and opportunistic rejection) plus
+failures, and the over-decomposition baseline's stacked chunk timelines.
 """
 
 import numpy as np
 import pytest
 
 from repro.cluster.network import CostModel, NetworkModel
+from repro.cluster.scenarios import scenario_batch
 from repro.cluster.simulator import (
     CodedIterationSim,
+    OverDecompositionIterationSim,
     ReplicationIterationSim,
 )
 from repro.cluster.speed_models import (
@@ -20,8 +24,12 @@ from repro.cluster.speed_models import (
     StackedSpeeds,
 )
 from repro.coding.partition import ChunkGrid
+from repro.scheduling.overdecomposition import (
+    OverDecompositionPlacement,
+    plan_assignment,
+)
 from repro.scheduling.replication import ReplicaPlacement, SpeculationConfig
-from repro.scheduling.s2c2 import GeneralS2C2Scheduler
+from repro.scheduling.s2c2 import GeneralS2C2Scheduler, wraparound_plan
 from repro.scheduling.static import StaticCodedScheduler
 from repro.scheduling.timeout import TimeoutPolicy
 
@@ -124,6 +132,77 @@ class TestCodedBatchEquivalence:
             sim, plan, speeds, [frozenset({0})] * speeds.shape[0]
         )
 
+    def test_repair_recruits_idle_workers(self):
+        # Exact-coverage plan that leaves three workers idle: the §4.4
+        # rule lets the master recruit them as repair helpers, so the
+        # native batch repair must mirror the idle_alive bookkeeping.
+        counts = np.array([CHUNKS, CHUNKS, CHUNKS, CHUNKS, CHUNKS, 0, 0, 0])
+        plan = wraparound_plan(counts, COVERAGE, CHUNKS)
+        plan.validate(exact=True)
+        models = [
+            ControlledSpeeds(
+                N, num_stragglers=2, straggler_ids=(1, 3), seed=7 + 13 * t
+            )
+            for t in range(10)
+        ]
+        speeds = StackedSpeeds(models).speeds_batch(3)
+        sim = _sim(timeout=TimeoutPolicy(slack=0.05))
+        batch = _assert_batch_matches_loop(sim, plan, speeds)
+        assert batch.repaired.any(), "idle-helper repair should trigger"
+        # Idle workers that received repair work show up in used_rows.
+        helped = batch.used_rows[batch.repaired][:, 5:]
+        assert helped.sum() > 0, "idle workers should contribute repairs"
+
+    def test_repair_rejected_when_waiting_wins(self):
+        # Mild stragglers with zero slack: the deadline arms (exact plans
+        # complete at the *last* arrival, past the first-k mean), but
+        # recomputing the laggards' chunks takes longer than waiting, so
+        # the opportunistic rule rejects every repair.
+        scheduler = GeneralS2C2Scheduler(coverage=COVERAGE, num_chunks=CHUNKS)
+        plan = scheduler.plan(np.ones(N))
+        models = [
+            ControlledSpeeds(N, num_stragglers=2, slowdown=1.05, jitter=0.05,
+                             seed=31 + t)
+            for t in range(8)
+        ]
+        speeds = StackedSpeeds(models).speeds_batch(1)
+        sim = _sim(timeout=TimeoutPolicy(slack=0.0))
+        batch = _assert_batch_matches_loop(sim, plan, speeds)
+        assert not batch.repaired.any(), "waiting should win over repair"
+
+    def test_repair_with_straggler_majority_multi_cutoff(self):
+        # More stragglers than the coverage slack: at the deadline too few
+        # workers have finished for a feasible reassignment, so the master
+        # re-attempts at subsequent arrivals (the multi-cutoff walk).
+        scheduler = GeneralS2C2Scheduler(coverage=COVERAGE, num_chunks=CHUNKS)
+        plan = scheduler.plan(np.ones(N))
+        speeds = _speed_batch(10, stragglers=5, seed=19)
+        sim = _sim(timeout=TimeoutPolicy(slack=0.05))
+        _assert_batch_matches_loop(sim, plan, speeds)
+
+    def test_repair_under_spot_scenario(self):
+        # Scenario-driven speeds end to end: spot preemption collapses
+        # workers to a near-dead floor, the classic repair trigger.
+        scheduler = GeneralS2C2Scheduler(coverage=COVERAGE, num_chunks=CHUNKS)
+        plan = scheduler.plan(np.ones(N))
+        speeds = scenario_batch(
+            "spot", N, seeds=range(8), preempt_prob=0.3
+        ).speeds_batch(2)
+        sim = _sim(timeout=TimeoutPolicy())
+        batch = _assert_batch_matches_loop(sim, plan, speeds)
+        assert batch.repaired.any()
+
+    def test_per_trial_plans_with_repairs(self):
+        # Plans built from stale predictions, one per trial, with repairs
+        # firing on a subset — exercises profile reuse across plan objects.
+        scheduler = GeneralS2C2Scheduler(coverage=COVERAGE, num_chunks=CHUNKS)
+        stale = _speed_batch(8, stragglers=1, seed=3)
+        actual = _speed_batch(8, stragglers=3, seed=47)
+        plans = [scheduler.plan(row) for row in stale]
+        sim = _sim(timeout=TimeoutPolicy(slack=0.1))
+        batch = _assert_batch_matches_loop(sim, plans, actual)
+        assert batch.repaired.any() and not batch.repaired.all()
+
     def test_unsatisfiable_raises_like_scalar(self):
         plan = StaticCodedScheduler(coverage=N, num_chunks=CHUNKS).plan(np.ones(N))
         speeds = _speed_batch(3, stragglers=0)
@@ -176,6 +255,60 @@ class TestReplicationBatchEquivalence:
         self._check(
             self._sim(), _speed_batch(4, stragglers=0), frozenset({2})
         )
+
+
+class TestOverDecompositionBatchEquivalence:
+    def _sim(self) -> OverDecompositionIterationSim:
+        return OverDecompositionIterationSim(
+            rows_per_partition=25,
+            width=64,
+            network=NetworkModel(latency=5e-6, bandwidth=2.5e8),
+            cost=CostModel(worker_flops=5e7),
+        )
+
+    def _check(self, sim, plans, speeds):
+        batch = sim.run_batch(plans, speeds)
+        plan_list = plans if isinstance(plans, list) else [plans] * speeds.shape[0]
+        for t in range(speeds.shape[0]):
+            want = sim.run(plan_list[t], speeds[t])
+            assert batch.completion_time[t] == want.completion_time, f"trial {t}"
+            assert batch.broadcast_time == want.broadcast_time
+            assert batch.data_moved_bytes[t] == want.data_moved_bytes
+            assert batch.migrations[t] == want.migrations
+            for w, stat in enumerate(want.workers):
+                assert batch.assigned_rows[t, w] == stat.assigned_rows
+                assert batch.computed_rows[t, w] == stat.computed_rows
+                assert batch.used_rows[t, w] == stat.used_rows
+                assert bool(batch.responded[t, w]) == (
+                    stat.response_time is not None
+                )
+        return batch
+
+    def test_per_trial_plans_with_migrations(self):
+        placement = OverDecompositionPlacement(N, factor=4, replication=1.42)
+        predicted = _speed_batch(10, stragglers=2, seed=5)
+        actual = _speed_batch(10, stragglers=2, seed=29)
+        plans = [plan_assignment(placement.holders, row, N) for row in predicted]
+        batch = self._check(self._sim(), plans, actual)
+        assert batch.migrations.sum() > 0, "skewed speeds should migrate"
+
+    def test_shared_plan(self):
+        placement = OverDecompositionPlacement(N, factor=3, replication=1.0)
+        plan = plan_assignment(placement.holders, np.ones(N), N)
+        self._check(self._sim(), plan, _speed_batch(6, stragglers=1))
+
+    def test_failed_owner_raises_like_scalar(self):
+        placement = OverDecompositionPlacement(N, factor=2, replication=1.0)
+        plan = plan_assignment(placement.holders, np.ones(N), N)
+        speeds = _speed_batch(3, stragglers=0)
+        with pytest.raises(RuntimeError, match="no repair path"):
+            self._sim().run_batch(plan, speeds, frozenset({0}))
+
+    def test_plan_count_validated(self):
+        placement = OverDecompositionPlacement(N, factor=2, replication=1.0)
+        plan = plan_assignment(placement.holders, np.ones(N), N)
+        with pytest.raises(ValueError, match="plans"):
+            self._sim().run_batch([plan], _speed_batch(3, stragglers=0))
 
 
 class TestBatchSpeedModels:

@@ -19,6 +19,7 @@ class TestRegistry:
         expected = {
             "fig01", "fig02", "fig03", "fig06", "fig07", "fig08",
             "fig09", "fig10", "fig11", "fig12", "fig13", "sec61",
+            "scenlat", "scenrepair",
         }
         assert set(ALL_EXPERIMENTS) == expected
 
@@ -34,6 +35,25 @@ def test_cheap_experiments_produce_tables(name):
     assert len(result.rows) >= 2
     table = result.format_table()
     assert name in table
+
+
+class TestScenarioExperiments:
+    def test_scenlat_covers_registry(self):
+        from repro.cluster.scenarios import available_scenarios
+
+        result = ALL_EXPERIMENTS["scenlat"](quick=True, trials=2)
+        assert result.labels() == list(available_scenarios())
+        # Paired ratios: slack squeeze wins under the predictable
+        # constant scenario, approaching (but never beating) ~k/n.
+        assert result.value("constant", "s2c2/mds") < 1.0
+
+    def test_scenrepair_constant_never_repairs(self):
+        result = ALL_EXPERIMENTS["scenrepair"](quick=True, trials=2)
+        assert result.value("constant", "repaired-rounds") == 0.0
+        assert result.value("constant", "repair/none") == 1.0
+        # The spot scenario is the repair mechanism's reason to exist.
+        assert result.value("spot", "repaired-rounds") > 0.0
+        assert result.value("spot", "repair/none") < 1.0
 
 
 class TestStorageCurve:

@@ -135,6 +135,29 @@ class TestCache:
         assert runner._cell_key(spec, {"a": 1, "b": 3}, full) != base
         assert runner._cell_key(spec, {"a": 1, "b": 4}, ctx) != base
 
+    def test_key_varies_with_scenario_registry(self, tmp_path):
+        # A cell resolving a scenario by name must not hit a cache entry
+        # computed under a different registry — registering (or editing) a
+        # scenario invalidates previously cached cells.
+        from repro.cluster import scenarios as scn
+        from repro.cluster.speed_models import ConstantSpeeds
+
+        runner = SweepRunner(jobs=1, cache_dir=tmp_path)
+        spec = _spec()
+        ctx = spec.context()
+        base = runner._cell_key(spec, {"a": 1, "b": 3}, ctx)
+        assert runner._cell_key(spec, {"a": 1, "b": 3}, ctx) == base
+        extra = scn.ScenarioSpec(
+            name="zz-cache-test",
+            summary="ephemeral",
+            models="test",
+            builder=lambda n_workers, seed: ConstantSpeeds(np.ones(n_workers)),
+        )
+        with pytest.MonkeyPatch.context() as patch:
+            patch.setitem(scn._REGISTRY, "zz-cache-test", extra)
+            assert runner._cell_key(spec, {"a": 1, "b": 3}, ctx) != base
+        assert runner._cell_key(spec, {"a": 1, "b": 3}, ctx) == base
+
     def test_corrupt_cache_entry_recomputed(self, tmp_path):
         runner = SweepRunner(jobs=1, cache_dir=tmp_path)
         spec = _spec()

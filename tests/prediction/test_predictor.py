@@ -13,6 +13,7 @@ from repro.prediction.predictor import (
     OnlinePredictor,
     OraclePredictor,
     StalePredictor,
+    conformal_interval,
     misprediction_rate,
 )
 from repro.prediction.traces import STABLE, generate_speed_traces
@@ -33,6 +34,56 @@ class TestMispredictionRate:
     def test_shape_mismatch(self):
         with pytest.raises(ValueError):
             misprediction_rate(np.ones(2), np.ones(3))
+
+
+class TestConformalInterval:
+    def test_width_is_finite_sample_residual_quantile(self):
+        # m=9 residuals 1..9, alpha=0.1: rank = ceil(10*0.9) = 9 → width 9.
+        residuals = np.arange(1.0, 10.0)
+        lower, upper = conformal_interval(residuals, np.array([20.0]), alpha=0.1)
+        assert upper[0] == 29.0 and lower[0] == 11.0
+        # alpha=0.5: rank = ceil(10*0.5) = 5 → width 5 (the median).
+        lower, upper = conformal_interval(residuals, np.array([20.0]), alpha=0.5)
+        assert upper[0] == 25.0 and lower[0] == 15.0
+
+    def test_band_is_symmetric_and_clipped_positive(self):
+        predicted = np.array([0.05, 1.0, 2.0])
+        lower, upper = conformal_interval(np.array([0.5]), predicted, alpha=0.2)
+        np.testing.assert_allclose(upper, predicted + 0.5)
+        assert lower[0] > 0  # 0.05 - 0.5 clips to the positive floor
+        np.testing.assert_allclose(lower[1:], predicted[1:] - 0.5)
+
+    def test_few_residuals_fall_back_to_max(self):
+        # m=2, alpha=0.1: rank 3 > m, so the widest honest band (max
+        # residual) is used rather than an out-of-range quantile.
+        lower, upper = conformal_interval(
+            np.array([0.1, 0.4]), np.array([1.0]), alpha=0.1
+        )
+        assert upper[0] == 1.4
+
+    def test_nan_residuals_ignored_and_sign_irrelevant(self):
+        lower, upper = conformal_interval(
+            np.array([np.nan, -0.3, 0.2, np.nan]), np.array([1.0]), alpha=0.5
+        )
+        # |−0.3| and 0.2 survive; m=2, alpha=0.5 → rank ceil(3·0.5)=2 → 0.3.
+        assert upper[0] == 1.3
+
+    def test_empirical_coverage(self):
+        # The guarantee the band exists for: >= 1 - alpha coverage under
+        # exchangeable residuals.
+        rng = np.random.default_rng(0)
+        actual = rng.uniform(0.3, 1.0, size=500)
+        predicted = actual + rng.normal(0, 0.05, size=500)
+        calib_res = predicted[:250] - actual[:250]
+        lower, upper = conformal_interval(calib_res, predicted[250:], alpha=0.1)
+        covered = (actual[250:] >= lower) & (actual[250:] <= upper)
+        assert covered.mean() >= 0.9
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="alpha"):
+            conformal_interval(np.array([0.1]), np.array([1.0]), alpha=1.5)
+        with pytest.raises(ValueError, match="residual"):
+            conformal_interval(np.array([np.nan]), np.array([1.0]))
 
 
 class TestLastValuePredictor:

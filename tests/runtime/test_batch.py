@@ -17,7 +17,12 @@ from repro.cluster.speed_models import (
     TraceSpeeds,
 )
 from repro.coding.mds import MDSCode
-from repro.experiments.harness import run_coded_lr_like, run_coded_lr_like_batch
+from repro.experiments.harness import (
+    run_coded_lr_like,
+    run_coded_lr_like_batch,
+    run_overdecomposition_lr_like,
+    run_overdecomposition_lr_like_batch,
+)
 from repro.prediction.predictor import (
     LastValuePredictor,
     OraclePredictor,
@@ -166,6 +171,43 @@ def test_batch_matches_sessions_last_value_predictor():
             scheduler, seed, 1, predictor=LastValuePredictor(N)
         )
         assert batch.total_time[t] == metrics.total_time
+
+
+def test_overdecomposition_batch_matches_sessions():
+    # Fig 8/10-style configuration: trace replay, migrating holders, the
+    # batched runner must evolve each trial's holder table exactly as the
+    # per-trial session does.
+    seeds = [5, 6, 7]
+    traces = [
+        generate_speed_traces(N, 2 * ITERATIONS + 2, VOLATILE, seed=s)
+        for s in seeds
+    ]
+    batch = run_overdecomposition_lr_like_batch(
+        ROWS,
+        COLS,
+        BatchTraceSpeeds.from_traces(traces),
+        StackedPredictor([LastValuePredictor(N) for _ in seeds]),
+        iterations=ITERATIONS,
+    )
+    matrix = np.random.default_rng(0).normal(size=(ROWS, COLS))
+    migrated_any = False
+    for t, seed in enumerate(seeds):
+        session = run_overdecomposition_lr_like(
+            matrix,
+            TraceSpeeds(traces[t]),
+            LastValuePredictor(N),
+            iterations=ITERATIONS,
+            seed=seed,
+        )
+        assert batch.total_time[t] == session.metrics.total_time, f"trial {t}"
+        np.testing.assert_array_equal(
+            batch.wasted_fraction_of_assigned()[t],
+            session.metrics.wasted_fraction_of_assigned(),
+        )
+        migrated_any = migrated_any or any(
+            r.migrations for r in session.metrics.records
+        )
+    assert migrated_any, "test should exercise migrating holder tables"
 
 
 def test_metrics_require_rounds():

@@ -13,8 +13,17 @@ class TestCli:
     def test_list(self, capsys):
         assert main(["list"]) == 0
         out = capsys.readouterr().out
-        for name in ("fig01", "fig13", "sec61"):
+        for name in ("fig01", "fig13", "sec61", "scenlat", "scenrepair"):
             assert name in out
+
+    def test_scenarios_lists_registry(self, capsys):
+        from repro.cluster.scenarios import available_scenarios
+
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        for name in available_scenarios():
+            assert name in out
+        assert "params:" in out
 
     def test_unknown_experiment_rejected(self, capsys):
         assert main(["experiments", "fig99", "--quick"]) == 2

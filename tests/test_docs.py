@@ -1,4 +1,5 @@
-"""Documentation stays wired to the code: run the link checker in tier-1."""
+"""Documentation stays wired to the code: link checker + generated API
+reference staleness, both in tier-1."""
 
 import importlib.util
 from pathlib import Path
@@ -8,13 +9,17 @@ import pytest
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
-def _load_checker():
+def _load_script(name: str):
     spec = importlib.util.spec_from_file_location(
-        "check_docs", REPO_ROOT / "scripts" / "check_docs.py"
+        name, REPO_ROOT / "scripts" / f"{name}.py"
     )
     module = importlib.util.module_from_spec(spec)
     spec.loader.exec_module(module)
     return module
+
+
+def _load_checker():
+    return _load_script("check_docs")
 
 
 def test_readme_and_docs_references_resolve():
@@ -34,8 +39,31 @@ def test_checker_flags_broken_references(tmp_path):
 
 
 def test_required_docs_exist():
-    for path in ("README.md", "docs/architecture.md", "docs/extending.md"):
+    for path in (
+        "README.md",
+        "docs/architecture.md",
+        "docs/extending.md",
+        "docs/scenarios.md",
+        "docs/api.md",
+    ):
         assert (REPO_ROOT / path).exists(), path
+
+
+def test_api_reference_is_current():
+    # docs/api.md is generated; tier-1 fails when it drifts from the
+    # sources.  Regenerate with: PYTHONPATH=src python scripts/gen_api_docs.py
+    generator = _load_script("gen_api_docs")
+    assert (REPO_ROOT / "docs" / "api.md").read_text() == generator.build()
+
+
+def test_api_check_flag_detects_staleness(tmp_path, monkeypatch, capsys):
+    generator = _load_script("gen_api_docs")
+    stale = tmp_path / "api.md"
+    stale.write_text("# stale\n")
+    monkeypatch.setattr(generator, "API_PATH", stale)
+    assert generator.main(["--check"]) == 1
+    assert generator.main([]) == 0  # writes the fresh file
+    assert generator.main(["--check"]) == 0
 
 
 @pytest.mark.parametrize(
