@@ -1,7 +1,7 @@
 """Benchmark: seed-style serial experiment loop vs the sweep engine.
 
 Usage:  python scripts/bench_sweep.py [--trials N] [--jobs N] [--quick/--full]
-            [--scenario NAME] [--append-json PATH]
+            [--scenario NAME] [--predictor-trials N] [--append-json PATH]
 
 Measures one representative controlled-cluster figure (Fig 6: 5 strategies
 × 4 straggler counts), one large-cluster figure (Fig 13: 50 workers), and
@@ -20,6 +20,13 @@ The repair-path bench drives a mis-predicted S2C2 plan under a registered
 straggler scenario (``--scenario``, see ``python -m repro scenarios``) so
 that (nearly) every trial arms the §4.3 timeout, and compares the natively
 batched repair resolution against the per-trial scalar loop it replaced.
+
+The prediction-path micro-bench (``--predictor-trials``) drives the §6.2
+online LSTM forecasting loop — the prediction-in-the-loop side of every
+cloud experiment — through a homogeneous ``StackedPredictor`` twice: once
+with ``vectorize=False`` (the old per-trial Python loop) and once on the
+vectorized fast path (one stacked recurrent step per round), asserting
+the forecasts stay point-for-point identical.
 
 The per-trial numbers of the compute paths are identical (the batch engine
 is bitwise-equivalent by construction — see ``tests/runtime/test_batch.py``
@@ -213,6 +220,56 @@ def bench_repair_path(
     return scalar_s, batch_s, float(batch.repaired.mean())
 
 
+def bench_predictor_path(quick: bool, trials: int) -> tuple[float, float, int]:
+    """Online-forecasting bench: per-trial predictor loop vs batched stack.
+
+    Returns ``(loop_seconds, batch_seconds, rounds)``.  One trained §6.1
+    LSTM shared by ``trials`` independent per-worker recurrent states,
+    stepped through ``rounds`` update/predict cycles — the exact shape of
+    the cloud experiments' forecasting feedback loop.
+    """
+    from repro.prediction.lstm import LSTMSpeedModel
+    from repro.prediction.predictor import LSTMPredictor, StackedPredictor
+    from repro.prediction.traces import VOLATILE, generate_speed_traces
+
+    n_workers = 10
+    rounds = 60 if quick else 300
+    model = LSTMSpeedModel(hidden=4, seed=0)
+    model.fit(
+        generate_speed_traces(12, 120, VOLATILE, seed=1), epochs=40, window=40
+    )
+    observed = np.stack(
+        [
+            generate_speed_traces(n_workers, rounds, VOLATILE, seed=2 + t)
+            for t in range(trials)
+        ]
+    )
+
+    loop = StackedPredictor(
+        [LSTMPredictor(model, n_workers) for _ in range(trials)],
+        vectorize=False,
+    )
+    start = time.perf_counter()
+    for r in range(rounds):
+        loop.update(observed[:, :, r])
+        loop.predict()
+    loop_s = time.perf_counter() - start
+
+    fast = StackedPredictor(
+        [LSTMPredictor(model, n_workers) for _ in range(trials)]
+    )
+    assert fast.vectorized
+    start = time.perf_counter()
+    for r in range(rounds):
+        fast.update(observed[:, :, r])
+        fast.predict()
+    batch_s = time.perf_counter() - start
+
+    # Point-for-point contract, cheap to hold.
+    assert np.array_equal(fast.predict(), loop.predict())
+    return loop_s, batch_s, rounds
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--trials", type=int, default=8)
@@ -227,12 +284,25 @@ def main() -> None:
         "(see `python -m repro scenarios`; default: controlled)",
     )
     parser.add_argument(
+        "--predictor-trials",
+        type=int,
+        default=64,
+        metavar="N",
+        help="trial count for the prediction-path micro-bench (default: 64)",
+    )
+    parser.add_argument(
         "--append-json",
         default=None,
         metavar="PATH",
         help="append one JSON line with the timings to PATH",
     )
     args = parser.parse_args()
+    from repro.cluster.scenarios import get_scenario
+
+    try:
+        get_scenario(args.scenario)
+    except KeyError as error:  # clean exit 2 instead of a bare traceback
+        parser.error(str(error.args[0]))
     quick = not args.full
     record: dict = {
         "timestamp": time.time(),
@@ -277,6 +347,22 @@ def main() -> None:
         "scalar": scalar_s,
         "batch": batch_s,
         "repaired_fraction": repaired,
+    }
+
+    loop_s, pbatch_s, rounds = bench_predictor_path(quick, args.predictor_trials)
+    print(
+        f"predict per-trial loop ({args.predictor_trials} trials, "
+        f"{rounds} rounds): {loop_s:7.2f}s"
+    )
+    print(
+        f"predict batched stack:                    {pbatch_s:7.2f}s   "
+        f"({loop_s / pbatch_s:.1f}x)"
+    )
+    record["predictor"] = {
+        "loop": loop_s,
+        "batch": pbatch_s,
+        "trials": args.predictor_trials,
+        "rounds": rounds,
     }
 
     if args.append_json:

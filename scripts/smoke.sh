@@ -33,7 +33,11 @@ python -m repro experiments scenrepair --quick --trials 2 --jobs 2 --cache-dir "
 
 if [ "$1" = "bench" ]; then
     echo "== bench (appending to BENCH_SWEEP.json) =="
-    python scripts/bench_sweep.py --trials 4 --jobs 2 --append-json BENCH_SWEEP.json
+    # --predictor-trials drives the prediction-path micro-bench (per-trial
+    # forecasting loop vs the batched predictor stack) so BENCH_SWEEP.json
+    # tracks the prediction series alongside the simulation ones.
+    python scripts/bench_sweep.py --trials 4 --jobs 2 --predictor-trials 64 \
+        --append-json BENCH_SWEEP.json
 fi
 
 echo "smoke OK"

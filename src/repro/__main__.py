@@ -12,10 +12,11 @@ Commands
     ``--no-cache`` is given.
 ``list``
     List the available experiment names with their descriptions.
-``scenarios``
+``scenarios [names...]``
     List the registered straggler scenarios (sweepable by name, e.g. as
     the scenario axis of the ``scenlat`` / ``scenrepair`` experiments and
-    of ``scripts/bench_sweep.py --scenario``).
+    of ``scripts/bench_sweep.py --scenario``), or just the named ones; an
+    unknown name exits non-zero with the available registry in the error.
 ``version``
     Print the package version.
 """
@@ -37,13 +38,18 @@ def _cmd_list() -> int:
     return 0
 
 
-def _cmd_scenarios() -> int:
+def _cmd_scenarios(names: list[str]) -> int:
     from repro.cluster.scenarios import available_scenarios, get_scenario
 
-    for name in available_scenarios():
-        spec = get_scenario(name)
+    try:
+        specs = [get_scenario(name) for name in (names or available_scenarios())]
+    except KeyError as error:
+        # get_scenario's message already lists the available registry.
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+    for spec in specs:
         defaults = ", ".join(f"{k}={v!r}" for k, v in spec.defaults)
-        print(f"{name:12s} {spec.summary}")
+        print(f"{spec.name:12s} {spec.summary}")
         print(f"{'':12s}   models: {spec.models}")
         print(f"{'':12s}   params: {defaults or '(none)'}")
     return 0
@@ -127,8 +133,14 @@ def build_parser() -> argparse.ArgumentParser:
         "~/.cache/repro/sweeps)",
     )
     sub.add_parser("list", help="list available experiments")
-    sub.add_parser(
+    scen_p = sub.add_parser(
         "scenarios", help="list the registered straggler scenarios"
+    )
+    scen_p.add_argument(
+        "names",
+        nargs="*",
+        help="scenario names to show (default: the whole registry); an "
+        "unknown name fails with the available list",
     )
     sub.add_parser("version", help="print the package version")
     return parser
@@ -142,7 +154,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "list":
         return _cmd_list()
     if args.command == "scenarios":
-        return _cmd_scenarios()
+        return _cmd_scenarios(args.names)
     if args.command == "version":
         from repro import __version__
 

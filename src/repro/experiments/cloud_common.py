@@ -14,15 +14,17 @@ trained on held-out traces; strategies:
 All four cloud figures read from the single :func:`cloud_cell` sweep cell
 (one per environment): Figs 8/9 share the low-environment cell and
 Figs 10/11 the high one, deduplicated by the sweep runner's on-disk cache
-across invocations (and by an in-process memo within one).  The coded
-strategies simulate every trial at once through the batched latency
-engine; the LSTM forecaster is trained once per environment (on traces
-disjoint from every replayed trial) and shared across trials.
+across invocations (and by an in-process, run-scoped memo within one —
+see :func:`clear_memos`).  The coded strategies simulate every trial at
+once through the batched latency engine; the LSTM forecaster is trained
+once per environment (on traces disjoint from every replayed trial),
+shared across trials, and driven through the natively batched
+:class:`~repro.prediction.predictor.BatchLSTMPredictor` — warm-up and all
+— so forecasting advances one stacked recurrent step per round instead of
+one Python call per trial.
 """
 
 from __future__ import annotations
-
-import functools
 
 import numpy as np
 
@@ -31,9 +33,9 @@ from repro.experiments.harness import (
     run_coded_lr_like_batch,
     run_overdecomposition_lr_like_batch,
 )
-from repro.experiments.sweep import SweepContext
+from repro.experiments.sweep import SweepContext, register_run_scoped_cache
 from repro.prediction.lstm import LSTMSpeedModel
-from repro.prediction.predictor import LSTMPredictor, StackedPredictor
+from repro.prediction.predictor import BatchLSTMPredictor
 from repro.prediction.traces import STABLE, VOLATILE, TraceConfig, generate_speed_traces
 from repro.scheduling.s2c2 import GeneralS2C2Scheduler
 from repro.scheduling.static import StaticCodedScheduler
@@ -41,6 +43,7 @@ from repro.scheduling.timeout import TimeoutPolicy
 
 __all__ = [
     "cloud_cell",
+    "clear_memos",
     "run_environment",
     "strategy_labels",
     "CODE_VARIANTS",
@@ -62,25 +65,47 @@ def strategy_labels() -> list[str]:
     return labels
 
 
-@functools.lru_cache(maxsize=4)
+#: In-process memos, explicitly keyed and scoped to one sweep run (cleared
+#: whenever a :class:`~repro.experiments.sweep.SweepRunner` is built).
+#: Module-level ``lru_cache``\ s here used to outlive the sweep: entries
+#: persisted for the life of the worker process across unrelated runs and
+#: pinned trained LSTMs in memory indefinitely.
+_LSTM_MEMO: dict[tuple, LSTMSpeedModel] = {}
+_CELL_MEMO: dict[tuple, dict] = {}
+
+
+@register_run_scoped_cache
+def clear_memos() -> None:
+    """Drop the trained-LSTM and shared-cell memos (run-boundary hook)."""
+    _LSTM_MEMO.clear()
+    _CELL_MEMO.clear()
+
+
 def _train_lstm(config: TraceConfig, quick: bool, seed: int) -> LSTMSpeedModel:
     """Train the §6.1 LSTM on traces disjoint from the replayed ones."""
-    length = 200 if quick else 500
-    train = generate_speed_traces(30, length, config, seed=seed + 1000)
-    model = LSTMSpeedModel(hidden=4, seed=seed)
-    model.fit(train, epochs=80 if quick else 250, window=40)
+    key = (config, quick, seed)
+    model = _LSTM_MEMO.get(key)
+    if model is None:
+        length = 200 if quick else 500
+        train = generate_speed_traces(30, length, config, seed=seed + 1000)
+        model = LSTMSpeedModel(hidden=4, seed=seed)
+        model.fit(train, epochs=80 if quick else 250, window=40)
+        _LSTM_MEMO[key] = model
     return model
 
 
-def _warmed_predictor(
-    lstm: LSTMSpeedModel, history: np.ndarray, n: int
-) -> LSTMPredictor:
+def _warmed_batch_predictor(
+    lstm: LSTMSpeedModel, histories: list[np.ndarray], n: int
+) -> BatchLSTMPredictor:
     # The master has speed history before the measured window starts;
     # replay it so the recurrent state is warm (cold-start forecasts
-    # would otherwise dominate the short measured runs).
-    predictor = LSTMPredictor(lstm, n)
+    # would otherwise dominate the short measured runs).  The replay is
+    # batched too: one stacked recurrent step per warm-up sample for all
+    # trials, evolving each trial exactly as a per-trial warm-up would.
+    predictor = BatchLSTMPredictor(lstm, len(histories), n)
+    stacked = np.stack([history[:n] for history in histories])
     for t in range(WARMUP):
-        predictor.update(history[:n, t])
+        predictor.update(stacked[:, :, t])
     return predictor
 
 
@@ -94,7 +119,13 @@ def run_environment(
     """Run (or fetch from cache) one environment's strategy suite.
 
     The sweep convenience the four cloud figures share; returns the
-    :func:`cloud_cell` value for the requested environment.
+    :func:`cloud_cell` value for the requested environment.  To deduplicate
+    the shared cell across figures in one process, pass one ``runner`` to
+    all of them (as the CLI does): the in-process memo is scoped to a
+    sweep run and cleared whenever a new
+    :class:`~repro.experiments.sweep.SweepRunner` is constructed, so
+    back-to-back calls that each default ``runner`` recompute unless the
+    runner's on-disk cache is enabled.
     """
     from repro.experiments.sweep import SweepRunner, SweepSpec
 
@@ -120,8 +151,16 @@ def cloud_cell(params: dict, ctx: SweepContext) -> dict:
     return _cloud_cell_memo(params["environment"], ctx)
 
 
-@functools.lru_cache(maxsize=8)
 def _cloud_cell_memo(environment: str, ctx: SweepContext) -> dict:
+    key = (environment, ctx)
+    value = _CELL_MEMO.get(key)
+    if value is None:
+        value = _compute_cloud_cell(environment, ctx)
+        _CELL_MEMO[key] = value
+    return value
+
+
+def _compute_cloud_cell(environment: str, ctx: SweepContext) -> dict:
     if environment == "low":
         config = STABLE
     elif environment == "high":
@@ -151,9 +190,7 @@ def _cloud_cell_memo(environment: str, ctx: SweepContext) -> dict:
         rows,
         cols,
         StackedSpeeds([TraceSpeeds(tr) for tr in traces]),
-        StackedPredictor(
-            [_warmed_predictor(lstm, h, N_WORKERS) for h in histories]
-        ),
+        _warmed_batch_predictor(lstm, histories, N_WORKERS),
         iterations=iterations,
     )
     total["over-decomposition"] = [float(v) for v in over.total_time]
@@ -179,9 +216,7 @@ def _cloud_cell_memo(environment: str, ctx: SweepContext) -> dict:
                 MDS_K,
                 scheduler,
                 StackedSpeeds([TraceSpeeds(tr[:n]) for tr in traces]),
-                StackedPredictor(
-                    [_warmed_predictor(lstm, h, n) for h in histories]
-                ),
+                _warmed_batch_predictor(lstm, histories, n),
                 iterations=iterations,
                 timeout=timeout,
             )

@@ -11,7 +11,11 @@ and the mean length of ±10% regimes — which must be ≥ ~10 samples for the
 stable preset, reproducing the observation the whole paper builds on.
 
 Runs as a single-cell sweep; with ``trials > 1`` the statistics are
-averaged over independently seeded trace generations.
+averaged over independently seeded trace generations.  The regime
+statistics reduce through the vectorized
+:func:`~repro.prediction.traces.regime_length_means` kernel — one time
+sweep over the whole stacked ``(trials × nodes, length)`` tensor instead
+of a Python recursion per node per trial, numerically identical per row.
 """
 
 from __future__ import annotations
@@ -20,7 +24,11 @@ import numpy as np
 
 from repro.experiments.harness import ExperimentResult
 from repro.experiments.sweep import SweepContext, SweepRunner, SweepSpec
-from repro.prediction.traces import MEASURED, generate_speed_traces, regime_lengths
+from repro.prediction.traces import (
+    MEASURED,
+    generate_speed_traces,
+    regime_length_means,
+)
 
 __all__ = ["run", "main"]
 
@@ -31,23 +39,28 @@ REPRESENTATIVE = (0, 7, 42, 99)
 def _cell(params: dict, ctx: SweepContext) -> dict:
     """Per-trial trace statistics for the representative nodes."""
     length = 200 if ctx.quick else 1000
+    traces = np.stack(
+        [
+            generate_speed_traces(N_NODES, length, MEASURED, seed=seed)
+            for seed in ctx.seeds
+        ]
+    )
+    regime_means = regime_length_means(traces.reshape(-1, length)).reshape(
+        ctx.trials, N_NODES
+    )
     per_node: dict[str, list[list[float]]] = {str(n): [] for n in REPRESENTATIVE}
-    medians = []
-    for seed in ctx.seeds:
-        traces = generate_speed_traces(N_NODES, length, MEASURED, seed=seed)
+    for t in range(ctx.trials):
         for node in REPRESENTATIVE:
-            trace = traces[node]
+            trace = traces[t, node]
             per_node[str(node)].append(
                 [
                     float(trace.mean()),
                     float(trace.min()),
                     float(trace.max()),
-                    float(regime_lengths(trace).mean()),
+                    float(regime_means[t, node]),
                 ]
             )
-        medians.append(
-            float(np.median([regime_lengths(t).mean() for t in traces]))
-        )
+    medians = [float(np.median(regime_means[t])) for t in range(ctx.trials)]
     return {"nodes": per_node, "median_regime": medians}
 
 

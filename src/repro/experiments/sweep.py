@@ -59,11 +59,40 @@ __all__ = [
     "SweepResult",
     "SweepRunner",
     "default_cache_dir",
+    "register_run_scoped_cache",
+    "clear_run_scoped_caches",
 ]
 
 #: Gap between per-trial seeds; large enough that nearby base seeds do not
 #: alias each other's trial streams.
 SEED_STRIDE = 1_000_003
+
+
+#: Clearers of in-process memos that must not outlive a sweep run — see
+#: :func:`register_run_scoped_cache`.
+_RUN_SCOPED_CACHE_CLEARERS: list[Callable[[], None]] = []
+
+
+def register_run_scoped_cache(clearer: Callable[[], None]):
+    """Register ``clearer()`` to drop an in-process memo at run boundaries.
+
+    Cell modules may memoise expensive shared work (trained models, shared
+    sweep cells) in process memory so that figures reading the same cell
+    within one sweep run don't recompute it.  Registered clearers are
+    invoked whenever a new :class:`SweepRunner` is constructed — the start
+    of a fresh run — so those memos are scoped to a run instead of to the
+    process: long-lived workers neither pin stale models in memory nor
+    serve one run's entries to an unrelated later run.  Usable as a
+    decorator (returns ``clearer`` unchanged).
+    """
+    _RUN_SCOPED_CACHE_CLEARERS.append(clearer)
+    return clearer
+
+
+def clear_run_scoped_caches() -> None:
+    """Drop every registered run-scoped memo (see above)."""
+    for clearer in _RUN_SCOPED_CACHE_CLEARERS:
+        clearer()
 
 
 @dataclass(frozen=True)
@@ -238,6 +267,10 @@ class SweepRunner:
                 raise ValueError(
                     f"cache_dir {self.cache_dir} exists and is not a directory"
                 )
+        # A new runner marks the start of a new sweep run: in-process memos
+        # from earlier runs (trained models, shared cells) are dropped so
+        # they stay scoped to one run rather than to the worker process.
+        clear_run_scoped_caches()
 
     def _cell_key(self, spec: SweepSpec, params: dict, ctx: SweepContext) -> str:
         # Imported lazily (and not lru-cached like the package digest):

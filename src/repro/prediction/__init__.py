@@ -1,13 +1,18 @@
 """Speed forecasting: trace generation, LSTM, ARIMA, online predictors."""
 
 from repro.prediction.arima import ARIMA111Model, ARModel
-from repro.prediction.lstm import LSTMSpeedModel, LSTMState, mape
+from repro.prediction.lstm import LSTMSpeedModel, LSTMState, MAPE_EPS, mape
 from repro.prediction.predictor import (
     ARPredictor,
+    BatchARPredictor,
+    BatchLastValuePredictor,
+    BatchLSTMPredictor,
+    BatchOnlinePredictor,
     LastValuePredictor,
     LSTMPredictor,
     OnlinePredictor,
     OraclePredictor,
+    StackedPredictor,
     StalePredictor,
     misprediction_rate,
 )
@@ -18,6 +23,7 @@ from repro.prediction.traces import (
     VOLATILE,
     TraceConfig,
     generate_speed_traces,
+    regime_length_means,
     regime_lengths,
 )
 
@@ -26,19 +32,26 @@ __all__ = [
     "ARModel",
     "ARPredictor",
     "BURSTY",
+    "BatchARPredictor",
+    "BatchLSTMPredictor",
+    "BatchLastValuePredictor",
+    "BatchOnlinePredictor",
     "LSTMPredictor",
     "LSTMSpeedModel",
     "LSTMState",
     "LastValuePredictor",
+    "MAPE_EPS",
     "MEASURED",
     "OnlinePredictor",
     "OraclePredictor",
     "STABLE",
+    "StackedPredictor",
     "StalePredictor",
     "TraceConfig",
     "VOLATILE",
     "generate_speed_traces",
     "mape",
     "misprediction_rate",
+    "regime_length_means",
     "regime_lengths",
 ]

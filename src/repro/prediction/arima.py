@@ -86,7 +86,14 @@ class ARModel:
             raise RuntimeError("model is not fitted; call fit() first")
 
     def predict_next(self, history: np.ndarray) -> np.ndarray:
-        """Forecast the next value for each row of ``history`` (``(N, L)``)."""
+        """Forecast the next value for each row of ``history`` (``(N, L)``).
+
+        Rows are independent, so callers may stack any batch into the row
+        dimension — :class:`~repro.prediction.predictor.BatchARPredictor`
+        flattens ``(trials, nodes)`` lag windows into one ``(trials ×
+        nodes, p)`` pass through here, with row results identical to
+        per-trial calls.
+        """
         self._require_fit()
         history = np.atleast_2d(np.asarray(history, dtype=np.float64))
         if history.shape[1] < self.p:

@@ -20,7 +20,14 @@ import numpy as np
 
 from repro._util import as_rng, check_positive_int
 
-__all__ = ["LSTMSpeedModel", "LSTMState", "mape"]
+__all__ = ["LSTMSpeedModel", "LSTMState", "MAPE_EPS", "mape"]
+
+#: Floor applied to MAPE denominators.  Straggler scenarios (e.g. spot
+#: preemption) drive actual speeds arbitrarily close to zero, and a single
+#: near-zero actual would otherwise blow the mean up to astronomical values
+#: (or, at an exact zero, divide by zero).  The floor is far below every
+#: generator's speed floor, so ordinary traces are unaffected bit for bit.
+MAPE_EPS = 1e-8
 
 
 def _sigmoid(x: np.ndarray) -> np.ndarray:
@@ -28,15 +35,25 @@ def _sigmoid(x: np.ndarray) -> np.ndarray:
     return 1.0 / (1.0 + np.exp(-np.clip(x, -50.0, 50.0)))
 
 
-def mape(predicted: np.ndarray, actual: np.ndarray) -> float:
-    """Mean absolute percentage error, the paper's accuracy metric (§6.1)."""
+def mape(
+    predicted: np.ndarray, actual: np.ndarray, eps: float = MAPE_EPS
+) -> float:
+    """Mean absolute percentage error, the paper's accuracy metric (§6.1).
+
+    Denominators are floored at ``eps`` (see :data:`MAPE_EPS`), so a
+    preempted near-zero speed sample cannot dominate — or crash — the
+    mean.  Speeds are nonnegative by the simulators' contract; negative
+    actuals indicate a caller bug and are rejected.
+    """
     predicted = np.asarray(predicted, dtype=np.float64)
     actual = np.asarray(actual, dtype=np.float64)
     if predicted.shape != actual.shape:
         raise ValueError("predicted and actual must have the same shape")
-    if np.any(actual <= 0):
-        raise ValueError("actual values must be positive for MAPE")
-    return float(np.mean(np.abs(predicted - actual) / actual))
+    if eps <= 0:
+        raise ValueError(f"eps must be > 0, got {eps}")
+    if np.any(actual < 0):
+        raise ValueError("actual values must be nonnegative for MAPE")
+    return float(np.mean(np.abs(predicted - actual) / np.maximum(actual, eps)))
 
 
 @dataclass
@@ -262,3 +279,18 @@ class LSTMSpeedModel:
         state.c = f * state.c + i * g
         state.h = o * np.tanh(state.c)
         return (state.h @ p["Wy"].T + p["by"])[:, 0] * self._sigma + self._mu
+
+    def step_stacked(self, state: LSTMState, x: np.ndarray) -> np.ndarray:
+        """Advance one step for a stacked ``(trials, nodes)`` observation.
+
+        The recurrent math is row-independent, so a whole Monte-Carlo
+        batch shares one ``initial_state(trials * nodes)`` and advances in
+        a single :meth:`step` call per round; row ``(t, n)`` evolves bit
+        for bit as node ``n`` of an independent trial-``t`` state would.
+        This is the kernel behind
+        :class:`~repro.prediction.predictor.BatchLSTMPredictor`.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2:
+            raise ValueError(f"x must be 2-D (trials, nodes), got shape {x.shape}")
+        return self.step(state, x.reshape(-1)).reshape(x.shape)

@@ -19,12 +19,23 @@ Implementations:
 * :class:`StalePredictor` — an adversarial oracle that is wrong with a
   configurable probability, used to dial the low/high mis-prediction
   environments in experiments.
+
+Monte-Carlo sweeps run many trials of the prediction-in-the-loop S2C2
+control loop at once, so forecasting is also available *natively batched*:
+:class:`BatchLastValuePredictor`, :class:`BatchARPredictor` and
+:class:`BatchLSTMPredictor` advance a whole ``(trials, nodes)`` state
+tensor per round (one vectorized kernel call instead of one Python call
+per trial), behind the common :class:`BatchOnlinePredictor` protocol.
+Each batched counterpart evolves row ``t`` bit for bit as the scalar
+predictor it mirrors would — :class:`StackedPredictor` exploits that to
+swap a homogeneous per-trial stack for the vectorized kernel
+transparently.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Protocol, runtime_checkable
+from typing import Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
@@ -36,11 +47,15 @@ from repro.prediction.lstm import LSTMSpeedModel
 __all__ = [
     "OnlinePredictor",
     "BatchPredictor",
+    "BatchOnlinePredictor",
     "LastValuePredictor",
     "ARPredictor",
     "LSTMPredictor",
     "OraclePredictor",
     "StalePredictor",
+    "BatchLastValuePredictor",
+    "BatchARPredictor",
+    "BatchLSTMPredictor",
     "StackedPredictor",
     "misprediction_rate",
     "conformal_interval",
@@ -67,7 +82,7 @@ def misprediction_rate(
 
 
 def conformal_interval(
-    residuals: np.ndarray, predicted: np.ndarray, alpha: float = 0.1
+    residuals: np.ndarray, predicted: np.ndarray, *, alpha: float = 0.1
 ) -> tuple[np.ndarray, np.ndarray]:
     """Split-conformal prediction band around point speed forecasts.
 
@@ -79,7 +94,9 @@ def conformal_interval(
     last-value predictors alike.  The band half-width is the
     ``ceil((m + 1)(1 - alpha)) / m`` empirical residual quantile (the
     finite-sample correction); lower bounds are clipped to stay positive,
-    matching the simulators' positive-speed contract.
+    matching the simulators' positive-speed contract.  ``alpha`` is
+    keyword-only: a positional third argument would silently read as a
+    mis-coverage level where callers have historically meant a tolerance.
     """
     residuals = np.abs(np.asarray(residuals, dtype=np.float64).ravel())
     residuals = residuals[~np.isnan(residuals)]
@@ -127,41 +144,29 @@ class BatchPredictor(Protocol):
         ...
 
 
-@dataclass
-class StackedPredictor:
-    """Batch adapter: one independent :class:`OnlinePredictor` per trial.
+@runtime_checkable
+class BatchOnlinePredictor(Protocol):
+    """Natively vectorized :class:`BatchPredictor` with a fixed node count.
 
-    Trial ``t`` of the batch evolves exactly as ``predictors[t]`` would in
-    a single-trial run — including its private RNG and recurrent state — so
-    batched Monte-Carlo runs are comparable point-for-point with per-trial
-    loops.  Forecasting is far off the simulation hot path; the point of
-    this adapter is the stacked ``(trials, nodes)`` interface, not
-    vectorizing the predictors themselves.
+    The contract the batched forecasting kernels add on top of
+    :class:`BatchPredictor`: the node dimension is declared up front
+    (``update`` validates the full ``(n_trials, n_nodes)`` shape) and
+    trial ``t`` must evolve bit for bit as the scalar counterpart
+    predictor would under the same observations — the property the
+    :class:`StackedPredictor` fast path and the batched-vs-loop
+    equivalence tests rely on.
     """
 
-    predictors: tuple[OnlinePredictor, ...]
-
-    def __post_init__(self) -> None:
-        self.predictors = tuple(self.predictors)
-        if not self.predictors:
-            raise ValueError("at least one predictor is required")
-
-    @property
-    def n_trials(self) -> int:
-        return len(self.predictors)
+    n_trials: int
+    n_nodes: int
 
     def update(self, observed: np.ndarray) -> None:
-        observed = np.asarray(observed, dtype=np.float64)
-        if observed.ndim != 2 or observed.shape[0] != self.n_trials:
-            raise ValueError(
-                f"observed must have shape ({self.n_trials}, nodes), "
-                f"got {observed.shape}"
-            )
-        for t, predictor in enumerate(self.predictors):
-            predictor.update(observed[t])
+        """Record measurements for every trial (NaN = no measurement)."""
+        ...
 
     def predict(self) -> np.ndarray:
-        return np.stack([p.predict() for p in self.predictors])
+        """Forecast the next iteration's speeds for every trial."""
+        ...
 
 
 def _fill_nan_with(values: np.ndarray, fallback: np.ndarray) -> np.ndarray:
@@ -309,3 +314,260 @@ class StalePredictor:
         prev = np.where(np.isnan(self._prev), truth, self._prev)
         missed = self._rng.random(truth.size) < self.miss_rate
         return np.where(missed, prev, truth)
+
+
+# ---------------------------------------------------------------------------
+# Natively batched predictors
+# ---------------------------------------------------------------------------
+
+
+def _check_batch_observed(
+    observed: np.ndarray, n_trials: int, n_nodes: int
+) -> np.ndarray:
+    observed = np.asarray(observed, dtype=np.float64)
+    if observed.shape != (n_trials, n_nodes):
+        raise ValueError(
+            f"observed must have shape ({n_trials}, {n_nodes}), "
+            f"got {observed.shape}"
+        )
+    return observed
+
+
+@dataclass
+class BatchLastValuePredictor:
+    """Vectorized :class:`LastValuePredictor` over a ``(trials, nodes)`` state."""
+
+    n_trials: int
+    n_nodes: int
+    initial: float = 1.0
+    _last: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.n_trials, "n_trials")
+        check_positive_int(self.n_nodes, "n_nodes")
+        self._last = np.full((self.n_trials, self.n_nodes), float(self.initial))
+
+    @classmethod
+    def from_predictors(
+        cls, predictors: Sequence[LastValuePredictor]
+    ) -> "BatchLastValuePredictor":
+        """Adopt the current state of one scalar predictor per trial."""
+        n_nodes = {p.n_nodes for p in predictors}
+        if len(n_nodes) != 1:
+            raise ValueError("predictors must share one node count")
+        batch = cls(len(predictors), n_nodes.pop())
+        batch._last = np.stack([p._last for p in predictors])
+        return batch
+
+    def update(self, observed: np.ndarray) -> None:
+        observed = _check_batch_observed(observed, self.n_trials, self.n_nodes)
+        self._last = _fill_nan_with(observed, self._last)
+
+    def predict(self) -> np.ndarray:
+        return self._last.copy()
+
+
+@dataclass
+class BatchARPredictor:
+    """Vectorized :class:`ARPredictor`: one AR(p) kernel call for all trials.
+
+    All trials share the single fitted :class:`ARModel` (its coefficients
+    are read-only at prediction time); the lag window is kept as a
+    ``(trials, nodes)`` tensor per lag and the pooled forecast runs as one
+    ``(trials * nodes, p)`` regression pass.
+    """
+
+    model: ARModel
+    n_trials: int
+    n_nodes: int
+    initial: float = 1.0
+    _history: list[np.ndarray] = field(init=False, repr=False)
+    _last: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.n_trials, "n_trials")
+        check_positive_int(self.n_nodes, "n_nodes")
+        if self.model.coef is None:
+            raise ValueError("BatchARPredictor requires a fitted ARModel")
+        self._history = []
+        self._last = np.full((self.n_trials, self.n_nodes), float(self.initial))
+
+    @classmethod
+    def from_predictors(
+        cls, predictors: Sequence[ARPredictor]
+    ) -> "BatchARPredictor":
+        """Adopt the current state of one scalar predictor per trial."""
+        first = predictors[0]
+        if any(p.model is not first.model for p in predictors):
+            raise ValueError("predictors must share one fitted ARModel")
+        if len({p.n_nodes for p in predictors}) != 1:
+            raise ValueError("predictors must share one node count")
+        if len({len(p._history) for p in predictors}) != 1:
+            raise ValueError("predictors must share one history depth")
+        batch = cls(first.model, len(predictors), first.n_nodes)
+        batch._last = np.stack([p._last for p in predictors])
+        batch._history = [
+            np.stack([p._history[i] for p in predictors])
+            for i in range(len(first._history))
+        ]
+        return batch
+
+    def update(self, observed: np.ndarray) -> None:
+        observed = _check_batch_observed(observed, self.n_trials, self.n_nodes)
+        self._last = _fill_nan_with(observed, self._last)
+        self._history.append(self._last.copy())
+        if len(self._history) > self.model.p:
+            self._history.pop(0)
+
+    def predict(self) -> np.ndarray:
+        if len(self._history) < self.model.p:
+            return self._last.copy()
+        history = np.stack(self._history, axis=2)  # (trials, nodes, p)
+        flat = history.reshape(self.n_trials * self.n_nodes, -1)
+        pred = np.clip(self.model.predict_next(flat), 1e-6, None)
+        return pred.reshape(self.n_trials, self.n_nodes)
+
+
+@dataclass
+class BatchLSTMPredictor:
+    """Vectorized :class:`LSTMPredictor`: one recurrent step for all trials.
+
+    All trials share the single trained :class:`LSTMSpeedModel` (its
+    weights are read-only at prediction time) while the recurrent state is
+    one stacked ``initial_state(trials * nodes)`` tensor, advanced by a
+    single :meth:`~repro.prediction.lstm.LSTMSpeedModel.step_stacked` call
+    per round.
+    """
+
+    model: LSTMSpeedModel
+    n_trials: int
+    n_nodes: int
+    initial: float = 1.0
+    _state: object = field(init=False, repr=False)
+    _pred: np.ndarray = field(init=False, repr=False)
+    _last: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.n_trials, "n_trials")
+        check_positive_int(self.n_nodes, "n_nodes")
+        shape = (self.n_trials, self.n_nodes)
+        self._state = self.model.initial_state(self.n_trials * self.n_nodes)
+        self._pred = np.full(shape, float(self.initial))
+        self._last = np.full(shape, float(self.initial))
+
+    @classmethod
+    def from_predictors(
+        cls, predictors: Sequence[LSTMPredictor]
+    ) -> "BatchLSTMPredictor":
+        """Adopt the current recurrent state of one scalar predictor per trial."""
+        first = predictors[0]
+        if any(p.model is not first.model for p in predictors):
+            raise ValueError("predictors must share one trained LSTMSpeedModel")
+        if len({p.n_nodes for p in predictors}) != 1:
+            raise ValueError("predictors must share one node count")
+        batch = cls(first.model, len(predictors), first.n_nodes)
+        batch._state.h = np.concatenate([p._state.h for p in predictors])
+        batch._state.c = np.concatenate([p._state.c for p in predictors])
+        batch._pred = np.stack([p._pred for p in predictors])
+        batch._last = np.stack([p._last for p in predictors])
+        return batch
+
+    def update(self, observed: np.ndarray) -> None:
+        observed = _check_batch_observed(observed, self.n_trials, self.n_nodes)
+        filled = _fill_nan_with(observed, self._last)
+        self._last = filled
+        self._pred = np.clip(
+            self.model.step_stacked(self._state, filled), 1e-6, None
+        )
+
+    def predict(self) -> np.ndarray:
+        return self._pred.copy()
+
+
+#: Scalar predictor type → its vectorized counterpart.  Oracle and stale
+#: predictors are deliberately absent: they own per-trial RNG / speed-model
+#: state whose evolution a shared kernel could not replay exactly.
+_BATCH_COUNTERPARTS: dict[type, type] = {
+    LastValuePredictor: BatchLastValuePredictor,
+    ARPredictor: BatchARPredictor,
+    LSTMPredictor: BatchLSTMPredictor,
+}
+
+
+@dataclass
+class StackedPredictor:
+    """Batch adapter: one independent :class:`OnlinePredictor` per trial.
+
+    Trial ``t`` of the batch evolves exactly as ``predictors[t]`` would in
+    a single-trial run — including its private RNG and recurrent state — so
+    batched Monte-Carlo runs are comparable point-for-point with per-trial
+    loops.
+
+    Homogeneous stacks take a **vectorized fast path**: when every
+    predictor is the same last-value / AR / LSTM wrapper (sharing one
+    fitted model), the stack's current state is adopted by the matching
+    :class:`BatchOnlinePredictor` at construction and every subsequent
+    ``update``/``predict`` is a single kernel call instead of a per-trial
+    Python loop.  The fast path is numerically equal to the loop, point
+    for point; once it engages, the wrapped scalar predictors are no
+    longer advanced (the batch tensor owns the state).  Heterogeneous
+    stacks — and predictor kinds with per-trial RNG, like the oracle and
+    stale wrappers — fall back to the per-trial loop transparently.  Pass
+    ``vectorize=False`` to force the loop (the benches use this to measure
+    the fast path's win).
+    """
+
+    predictors: tuple[OnlinePredictor, ...]
+    vectorize: bool = True
+    _batch: BatchOnlinePredictor | None = field(
+        init=False, default=None, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        self.predictors = tuple(self.predictors)
+        if not self.predictors:
+            raise ValueError("at least one predictor is required")
+        if self.vectorize:
+            self._batch = self._vectorized()
+
+    def _vectorized(self) -> BatchOnlinePredictor | None:
+        """The stack's batched counterpart, or None for mixed stacks."""
+        kind = type(self.predictors[0])
+        batch_cls = _BATCH_COUNTERPARTS.get(kind)
+        if batch_cls is None:
+            return None
+        if any(type(p) is not kind for p in self.predictors):
+            return None
+        try:
+            return batch_cls.from_predictors(self.predictors)
+        except ValueError:
+            # Different node counts / models / warm-up depths per trial:
+            # not stackable into one tensor, keep the faithful loop.
+            return None
+
+    @property
+    def vectorized(self) -> bool:
+        """Whether the stack runs on the batched fast path."""
+        return self._batch is not None
+
+    @property
+    def n_trials(self) -> int:
+        return len(self.predictors)
+
+    def update(self, observed: np.ndarray) -> None:
+        observed = np.asarray(observed, dtype=np.float64)
+        if observed.ndim != 2 or observed.shape[0] != self.n_trials:
+            raise ValueError(
+                f"observed must have shape ({self.n_trials}, nodes), "
+                f"got {observed.shape}"
+            )
+        if self._batch is not None:
+            self._batch.update(observed)
+            return
+        for t, predictor in enumerate(self.predictors):
+            predictor.update(observed[t])
+
+    def predict(self) -> np.ndarray:
+        if self._batch is not None:
+            return self._batch.predict()
+        return np.stack([p.predict() for p in self.predictors])

@@ -11,9 +11,15 @@ trials per call, feeding ``(trials, workers)`` speed matrices straight into
 
 Trial ``t`` of a batch run is numerically identical to a single-trial
 session built from the same seed: the simulators guarantee bitwise-equal
-timelines, and :class:`~repro.prediction.predictor.StackedPredictor` keeps
-per-trial forecast state.  ``tests/runtime/test_batch.py`` pins this
-equality against real :class:`CodedSession` runs.
+timelines, and the forecasting side holds the same contract — any
+:class:`~repro.prediction.predictor.BatchPredictor` works, whether a
+:class:`~repro.prediction.predictor.StackedPredictor` looping per-trial
+state (vectorizing itself automatically for homogeneous stacks) or a
+natively batched kernel such as
+:class:`~repro.prediction.predictor.BatchLSTMPredictor`, which advances
+one stacked ``(trials, workers)`` recurrent state per round.
+``tests/runtime/test_batch.py`` pins this equality against real
+:class:`CodedSession` runs.
 
 :class:`BatchOverDecompositionRunner` does the same for the Charm++-like
 over-decomposition baseline: per-trial partition plans (the holder tables

@@ -12,6 +12,7 @@ from repro.experiments.sweep import (
     SweepRunner,
     SweepSpec,
     default_cache_dir,
+    register_run_scoped_cache,
 )
 
 
@@ -186,3 +187,20 @@ class TestParallel:
         runner.run(_spec())
         assert len(list(tmp_path.glob("*.json"))) == 6
         assert runner.run(_spec()).cache_hits == 6
+
+
+class TestRunScopedCaches:
+    def test_new_runner_clears_registered_memos(self):
+        from repro.experiments import sweep as sweep_module
+
+        memo = {"stale": "entry"}
+        clear = memo.clear
+        try:
+            assert register_run_scoped_cache(clear) is clear  # decorator style
+            SweepRunner()
+            assert memo == {}
+            memo["fresh"] = "entry"
+            SweepRunner(jobs=2)
+            assert memo == {}
+        finally:
+            sweep_module._RUN_SCOPED_CACHE_CLEARERS.remove(clear)

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.prediction.lstm import LSTMSpeedModel, mape
+from repro.prediction.lstm import LSTMSpeedModel, MAPE_EPS, mape
 from repro.prediction.traces import STABLE, generate_speed_traces
 
 
@@ -18,9 +18,45 @@ class TestMape:
         with pytest.raises(ValueError):
             mape(np.ones(3), np.ones(4))
 
-    def test_nonpositive_actual_rejected(self):
+    def test_negative_actual_rejected(self):
         with pytest.raises(ValueError):
-            mape(np.ones(2), np.array([1.0, 0.0]))
+            mape(np.ones(2), np.array([1.0, -0.5]))
+
+    def test_zero_actual_floored_not_fatal(self):
+        # Exact zeros used to raise; now the denominator floor bounds them.
+        value = mape(np.array([1.0, 1.0]), np.array([1.0, 0.0]))
+        assert np.isfinite(value)
+        assert value == pytest.approx((0.0 + 1.0 / MAPE_EPS) / 2)
+
+    def test_eps_validated(self):
+        with pytest.raises(ValueError, match="eps"):
+            mape(np.ones(2), np.ones(2), eps=0.0)
+
+    def test_ordinary_traces_unaffected_by_floor(self):
+        # Generator speed floors sit far above MAPE_EPS, so the floored
+        # denominator is bit-for-bit the plain division on normal traces.
+        traces = generate_speed_traces(4, 60, STABLE, seed=0)
+        predicted, actual = traces[:, :-1], traces[:, 1:]
+        assert mape(predicted, actual) == float(
+            np.mean(np.abs(predicted - actual) / actual)
+        )
+
+    def test_spot_preemption_regression(self):
+        # Regression for the spot-scenario blow-up: preempted rounds floor
+        # actual speeds near zero, and the one bad round used to dominate
+        # the sec61/fig02-style tables with astronomical values.  With the
+        # floored denominator the MAPE stays bounded by the scenario's own
+        # speed floor.
+        from repro.cluster.scenarios import scenario_speed_model
+
+        model = scenario_speed_model(
+            "spot", 8, seed=3, preempt_prob=0.5, restore_prob=0.2
+        )
+        actual = np.stack([model.speeds(i) for i in range(30)], axis=1)
+        assert (actual < 0.1).any(), "scenario should preempt some workers"
+        value = mape(np.ones_like(actual), actual)
+        assert np.isfinite(value)
+        assert value < (1.0 - 0.02) / 0.02  # bounded by the 0.02 floor
 
 
 class TestLSTMSpeedModel:
@@ -64,6 +100,29 @@ class TestLSTMSpeedModel:
         state = model.initial_state(3)
         with pytest.raises(ValueError):
             model.step(state, np.ones(4))
+
+    def test_step_stacked_matches_independent_states(self):
+        # One (trials * nodes) stacked state must evolve row (t, n) exactly
+        # as node n of an independent per-trial state would.
+        trials, nodes, rounds = 4, 3, 6
+        traces = generate_speed_traces(trials * nodes, rounds, STABLE, seed=5)
+        model = LSTMSpeedModel(hidden=4, seed=1)
+        stacked_state = model.initial_state(trials * nodes)
+        states = [model.initial_state(nodes) for _ in range(trials)]
+        for r in range(rounds):
+            x = traces[:, r].reshape(trials, nodes)
+            stacked = model.step_stacked(stacked_state, x)
+            scalar = np.stack(
+                [model.step(states[t], x[t]) for t in range(trials)]
+            )
+            np.testing.assert_array_equal(stacked, scalar)
+            assert stacked.shape == (trials, nodes)
+
+    def test_step_stacked_requires_2d(self):
+        model = LSTMSpeedModel(hidden=4)
+        state = model.initial_state(6)
+        with pytest.raises(ValueError, match="2-D"):
+            model.step_stacked(state, np.ones(6))
 
     def test_fit_validates_input(self):
         model = LSTMSpeedModel()

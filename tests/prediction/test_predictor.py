@@ -8,15 +8,33 @@ from repro.prediction.arima import ARModel
 from repro.prediction.lstm import LSTMSpeedModel
 from repro.prediction.predictor import (
     ARPredictor,
+    BatchARPredictor,
+    BatchLastValuePredictor,
+    BatchLSTMPredictor,
+    BatchOnlinePredictor,
+    BatchPredictor,
     LastValuePredictor,
     LSTMPredictor,
     OnlinePredictor,
     OraclePredictor,
+    StackedPredictor,
     StalePredictor,
     conformal_interval,
     misprediction_rate,
 )
 from repro.prediction.traces import STABLE, generate_speed_traces
+
+
+@pytest.fixture(scope="module")
+def ar_model():
+    return ARModel(p=2).fit(generate_speed_traces(20, 200, STABLE, seed=0))
+
+
+@pytest.fixture(scope="module")
+def lstm_model():
+    model = LSTMSpeedModel(hidden=4, seed=0)
+    model.fit(generate_speed_traces(16, 120, STABLE, seed=0), epochs=30, window=30)
+    return model
 
 
 class TestMispredictionRate:
@@ -83,7 +101,23 @@ class TestConformalInterval:
         with pytest.raises(ValueError, match="alpha"):
             conformal_interval(np.array([0.1]), np.array([1.0]), alpha=1.5)
         with pytest.raises(ValueError, match="residual"):
-            conformal_interval(np.array([np.nan]), np.array([1.0]))
+            # All-NaN residuals leave no calibration data after filtering.
+            conformal_interval(np.full(5, np.nan), np.array([1.0]))
+
+    def test_alpha_is_keyword_only(self):
+        # A positional third argument historically read as a tolerance in
+        # sibling helpers; passing it positionally must be a hard error.
+        with pytest.raises(TypeError):
+            conformal_interval(np.array([0.1]), np.array([1.0]), 0.1)
+
+    def test_single_residual_rank_overflow_falls_back_to_max(self):
+        # m=1, alpha=0.1: rank ceil(2·0.9)=2 > m → the lone residual is the
+        # widest honest band.
+        lower, upper = conformal_interval(
+            np.array([0.25]), np.array([1.0]), alpha=0.1
+        )
+        assert upper[0] == 1.25
+        assert lower[0] == 0.75
 
 
 class TestLastValuePredictor:
@@ -220,3 +254,163 @@ class TestLSTMPredictor:
     def test_shape_validated(self):
         with pytest.raises(ValueError):
             self.make(2).update(np.ones(5))
+
+
+def _observation_stream(trials, nodes, rounds, seed=0, nan_rate=0.2):
+    """Random speeds with NaN holes (workers that did no work)."""
+    rng = np.random.default_rng(seed)
+    obs = rng.uniform(0.02, 1.0, size=(rounds, trials, nodes))
+    obs[rng.random(obs.shape) < nan_rate] = np.nan
+    return obs
+
+
+class TestBatchPredictors:
+    """Batched kernels vs per-trial scalar predictors: point-for-point."""
+
+    TRIALS, NODES, ROUNDS = 6, 5, 12
+
+    def _pairs(self, ar_model, lstm_model):
+        return [
+            (
+                lambda: LastValuePredictor(self.NODES),
+                BatchLastValuePredictor(self.TRIALS, self.NODES),
+            ),
+            (
+                lambda: ARPredictor(ar_model, self.NODES),
+                BatchARPredictor(ar_model, self.TRIALS, self.NODES),
+            ),
+            (
+                lambda: LSTMPredictor(lstm_model, self.NODES),
+                BatchLSTMPredictor(lstm_model, self.TRIALS, self.NODES),
+            ),
+        ]
+
+    def test_matches_scalar_loop_exactly(self, ar_model, lstm_model):
+        for make_scalar, batch in self._pairs(ar_model, lstm_model):
+            scalars = [make_scalar() for _ in range(self.TRIALS)]
+            stream = _observation_stream(self.TRIALS, self.NODES, self.ROUNDS)
+            for observed in stream:
+                expected = np.stack([p.predict() for p in scalars])
+                np.testing.assert_array_equal(batch.predict(), expected)
+                batch.update(observed)
+                for t, predictor in enumerate(scalars):
+                    predictor.update(observed[t])
+            expected = np.stack([p.predict() for p in scalars])
+            np.testing.assert_array_equal(batch.predict(), expected)
+
+    def test_satisfies_protocols(self, ar_model, lstm_model):
+        for _make_scalar, batch in self._pairs(ar_model, lstm_model):
+            assert isinstance(batch, BatchOnlinePredictor)
+            assert isinstance(batch, BatchPredictor)
+
+    def test_shape_validated(self, ar_model, lstm_model):
+        for _make_scalar, batch in self._pairs(ar_model, lstm_model):
+            with pytest.raises(ValueError, match="shape"):
+                batch.update(np.ones(self.NODES))
+            with pytest.raises(ValueError, match="shape"):
+                batch.update(np.ones((self.TRIALS + 1, self.NODES)))
+            with pytest.raises(ValueError, match="shape"):
+                batch.update(np.ones((self.TRIALS, self.NODES + 2)))
+
+    def test_unfitted_ar_model_rejected(self):
+        with pytest.raises(ValueError, match="fitted"):
+            BatchARPredictor(ARModel(), 2, 3)
+
+    def test_counts_validated(self, lstm_model):
+        with pytest.raises(ValueError):
+            BatchLastValuePredictor(0, 3)
+        with pytest.raises(ValueError):
+            BatchLSTMPredictor(lstm_model, 2, 0)
+
+
+class TestStackedPredictorFastPath:
+    TRIALS, NODES, ROUNDS = 5, 4, 10
+
+    def _drive(self, stack, stream):
+        outputs = []
+        for observed in stream:
+            outputs.append(stack.predict())
+            stack.update(observed)
+        outputs.append(stack.predict())
+        return np.stack(outputs)
+
+    @pytest.mark.parametrize("kind", ["last-value", "ar", "lstm"])
+    def test_fast_path_engages_and_matches_loop(self, kind, ar_model, lstm_model):
+        makers = {
+            "last-value": lambda: LastValuePredictor(self.NODES),
+            "ar": lambda: ARPredictor(ar_model, self.NODES),
+            "lstm": lambda: LSTMPredictor(lstm_model, self.NODES),
+        }
+        make = makers[kind]
+        fast = StackedPredictor([make() for _ in range(self.TRIALS)])
+        loop = StackedPredictor(
+            [make() for _ in range(self.TRIALS)], vectorize=False
+        )
+        assert fast.vectorized
+        assert not loop.vectorized
+        stream = _observation_stream(self.TRIALS, self.NODES, self.ROUNDS, seed=3)
+        np.testing.assert_array_equal(
+            self._drive(fast, stream), self._drive(loop, stream)
+        )
+
+    def test_adopts_warmed_state(self, lstm_model):
+        # Predictors warmed *before* stacking: the fast path must adopt the
+        # warm recurrent state, not restart from cold.
+        stream = _observation_stream(self.TRIALS, self.NODES, 4, seed=5, nan_rate=0)
+        warmed = [LSTMPredictor(lstm_model, self.NODES) for _ in range(self.TRIALS)]
+        reference = [
+            LSTMPredictor(lstm_model, self.NODES) for _ in range(self.TRIALS)
+        ]
+        for observed in stream:
+            for t in range(self.TRIALS):
+                warmed[t].update(observed[t])
+                reference[t].update(observed[t])
+        fast = StackedPredictor(warmed)
+        assert fast.vectorized
+        np.testing.assert_array_equal(
+            fast.predict(), np.stack([p.predict() for p in reference])
+        )
+
+    def test_mixed_stack_falls_back(self, lstm_model):
+        stack = StackedPredictor(
+            [LastValuePredictor(self.NODES), LSTMPredictor(lstm_model, self.NODES)]
+        )
+        assert not stack.vectorized
+
+    def test_rng_bearing_predictors_fall_back(self):
+        stack = StackedPredictor(
+            [
+                OraclePredictor(ConstantSpeeds(np.ones(self.NODES)))
+                for _ in range(3)
+            ]
+        )
+        assert not stack.vectorized
+
+    def test_distinct_models_fall_back(self, lstm_model):
+        other = LSTMSpeedModel(hidden=4, seed=0)
+        stack = StackedPredictor(
+            [LSTMPredictor(lstm_model, self.NODES), LSTMPredictor(other, self.NODES)]
+        )
+        assert not stack.vectorized
+
+    def test_mismatched_node_counts_fall_back(self):
+        stack = StackedPredictor([LastValuePredictor(2), LastValuePredictor(3)])
+        assert not stack.vectorized
+
+    def test_empty_stack_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            StackedPredictor(())
+
+    def test_update_shape_validation(self):
+        stack = StackedPredictor([LastValuePredictor(3) for _ in range(2)])
+        with pytest.raises(ValueError, match="shape"):
+            stack.update(np.ones(3))  # 1-D
+        with pytest.raises(ValueError, match="shape"):
+            stack.update(np.ones((4, 3)))  # wrong trial count
+        with pytest.raises(ValueError, match="shape"):
+            stack.update(np.ones((2, 5)))  # wrong node count (fast path)
+        loop = StackedPredictor(
+            [LastValuePredictor(3) for _ in range(2)], vectorize=False
+        )
+        with pytest.raises(ValueError):
+            loop.update(np.ones((2, 5)))  # wrong node count (loop path)

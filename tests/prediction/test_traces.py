@@ -6,10 +6,12 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.prediction.traces import (
+    MEASURED,
     STABLE,
     VOLATILE,
     TraceConfig,
     generate_speed_traces,
+    regime_length_means,
     regime_lengths,
 )
 
@@ -100,3 +102,32 @@ class TestRegimeLengths:
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
             regime_lengths(np.empty(0))
+
+
+class TestRegimeLengthMeans:
+    def test_matches_per_row_kernel_exactly(self):
+        # The vectorized sweep must reproduce the scalar recursion bit for
+        # bit — it backs fig02's stacked Monte-Carlo statistics.
+        traces = generate_speed_traces(40, 200, MEASURED, seed=5)
+        scalar = np.array([regime_lengths(row).mean() for row in traces])
+        np.testing.assert_array_equal(regime_length_means(traces), scalar)
+
+    def test_threshold_forwarded(self):
+        traces = generate_speed_traces(10, 150, VOLATILE, seed=7)
+        scalar = np.array(
+            [regime_lengths(row, rel_threshold=0.05).mean() for row in traces]
+        )
+        np.testing.assert_array_equal(
+            regime_length_means(traces, rel_threshold=0.05), scalar
+        )
+
+    def test_constant_rows_are_one_regime(self):
+        np.testing.assert_array_equal(
+            regime_length_means(np.ones((3, 50))), [50.0, 50.0, 50.0]
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            regime_length_means(np.ones(10))  # 1-D
+        with pytest.raises(ValueError):
+            regime_length_means(np.empty((2, 0)))

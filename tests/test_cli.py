@@ -25,6 +25,20 @@ class TestCli:
             assert name in out
         assert "params:" in out
 
+    def test_scenarios_filters_by_name(self, capsys):
+        assert main(["scenarios", "spot"]) == 0
+        out = capsys.readouterr().out
+        assert "spot" in out
+        assert "markov" not in out
+
+    def test_scenarios_unknown_name_exits_nonzero(self, capsys):
+        assert main(["scenarios", "spot", "no-such-scenario"]) == 2
+        captured = capsys.readouterr()
+        assert captured.out == ""  # nothing half-printed
+        assert "unknown scenario" in captured.err
+        # The error lists the available registry rather than a traceback.
+        assert "spot" in captured.err and "markov" in captured.err
+
     def test_unknown_experiment_rejected(self, capsys):
         assert main(["experiments", "fig99", "--quick"]) == 2
         assert "unknown" in capsys.readouterr().err
