@@ -1,7 +1,8 @@
 """Benchmark: seed-style serial experiment loop vs the sweep engine.
 
 Usage:  python scripts/bench_sweep.py [--trials N] [--jobs N] [--quick/--full]
-            [--scenario NAME] [--predictor-trials N] [--append-json PATH]
+            [--scenario NAME] [--predictor-trials N] [--matrix]
+            [--append-json PATH]
 
 Measures one representative controlled-cluster figure (Fig 6: 5 strategies
 × 4 straggler counts), one large-cluster figure (Fig 13: 50 workers), and
@@ -20,6 +21,12 @@ The repair-path bench drives a mis-predicted S2C2 plan under a registered
 straggler scenario (``--scenario``, see ``python -m repro scenarios``) so
 that (nearly) every trial arms the §4.3 timeout, and compares the natively
 batched repair resolution against the per-trial scalar loop it replaced.
+
+The matrix micro-bench (``--matrix``) times the full policy × scenario
+evaluation grid (every registered mitigation policy against every
+registered straggler scenario, all trials batched per cell) cold and then
+against a warm on-disk cache — the end-to-end cost of regenerating the
+``docs/results.md`` handbook.
 
 The prediction-path micro-bench (``--predictor-trials``) drives the §6.2
 online LSTM forecasting loop — the prediction-in-the-loop side of every
@@ -220,6 +227,32 @@ def bench_repair_path(
     return scalar_s, batch_s, float(batch.repaired.mean())
 
 
+def bench_matrix(quick: bool, trials: int, jobs: int) -> tuple[float, float, int]:
+    """Policy × scenario matrix: cold sweep vs warm on-disk cache.
+
+    Returns ``(cold_seconds, warm_seconds, cells)``.
+    """
+    from repro.experiments.matrix import run_matrix
+    from repro.experiments.sweep import SweepRunner
+
+    with tempfile.TemporaryDirectory() as cache:
+        start = time.perf_counter()
+        result = run_matrix(
+            quick=quick,
+            trials=trials,
+            runner=SweepRunner(jobs=jobs, cache_dir=cache),
+        )
+        cold = time.perf_counter() - start
+        start = time.perf_counter()
+        run_matrix(
+            quick=quick,
+            trials=trials,
+            runner=SweepRunner(jobs=jobs, cache_dir=cache),
+        )
+        warm = time.perf_counter() - start
+    return cold, warm, len(result.policies) * len(result.scenarios)
+
+
 def bench_predictor_path(quick: bool, trials: int) -> tuple[float, float, int]:
     """Online-forecasting bench: per-trial predictor loop vs batched stack.
 
@@ -289,6 +322,12 @@ def main() -> None:
         default=64,
         metavar="N",
         help="trial count for the prediction-path micro-bench (default: 64)",
+    )
+    parser.add_argument(
+        "--matrix",
+        action="store_true",
+        help="also time the policy × scenario evaluation matrix "
+        "(cold sweep, then warm on-disk cache)",
     )
     parser.add_argument(
         "--append-json",
@@ -364,6 +403,18 @@ def main() -> None:
         "trials": args.predictor_trials,
         "rounds": rounds,
     }
+
+    if args.matrix:
+        cold, warm, cells = bench_matrix(quick, args.trials, args.jobs)
+        print(
+            f"matrix cold sweep    ({cells} policy×scenario cells, "
+            f"{args.trials} trials): {cold:7.2f}s"
+        )
+        print(
+            f"matrix warm cache:                        {warm:7.2f}s   "
+            f"({cold / warm:.1f}x)"
+        )
+        record["matrix"] = {"cold": cold, "warm": warm, "cells": cells}
 
     if args.append_json:
         with open(args.append_json, "a") as handle:

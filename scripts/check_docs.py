@@ -10,7 +10,15 @@ Scans README.md and docs/*.md (by default) for
 * backticked repository paths (``scripts/x.sh``, ``docs/y.md``,
   ``src/repro/...``, ``tests/...``, ``benchmarks/``) — each must exist;
 * experiment names in ``python -m repro experiments <name>`` examples —
-  each must be registered in ``repro.experiments.ALL_EXPERIMENTS``.
+  each must be registered in ``repro.experiments.ALL_EXPERIMENTS``;
+* policy / scenario names passed via ``--policy`` / ``--scenario`` on
+  ``python -m repro matrix`` example lines — each must be registered;
+* relative markdown links (``[text](other.md)``, ``[text](#anchor)``,
+  ``[text](other.md#anchor)``) — the target file must exist next to the
+  referring document and the anchor must match one of its headings
+  (GitHub slug rules), which keeps the generated ``docs/results.md``
+  policy pages and the hand-written ``docs/policies.md`` cross-links from
+  rotting.
 
 Exits non-zero listing every broken reference, so CI (and
 ``scripts/smoke.sh``) keeps documentation and code from drifting apart.
@@ -30,6 +38,44 @@ PATHLIKE = re.compile(
     r"`((?:src|docs|scripts|tests|benchmarks|examples)(?:/[A-Za-z0-9_.\-]+)*/?)`"
 )
 EXPERIMENT_CMD = re.compile(r"python -m repro experiments ((?:[a-z0-9]+ )*[a-z0-9]+)")
+MATRIX_CMD_LINE = re.compile(r"python -m repro matrix(?:[^\n]*\\\n)*[^\n]*")
+POLICY_FLAG = re.compile(r"--policy ([a-z0-9\-]+)")
+SCENARIO_FLAG = re.compile(r"--scenario ([a-z0-9\-]+)")
+MD_LINK = re.compile(r"(?<!!)\[[^\]\[]*\]\(([^()\s]+)\)")
+HEADING = re.compile(r"^#{1,6}\s+(.+?)\s*$", re.MULTILINE)
+
+
+def _slugify(heading: str) -> str:
+    """GitHub-style anchor slug of a markdown heading."""
+    text = heading.strip().lower().replace("`", "")
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+FENCED_BLOCK = re.compile(r"^```.*?^```", re.MULTILINE | re.DOTALL)
+
+
+def _anchors_of(text: str) -> set[str]:
+    # Strip fenced code blocks first: a `# comment` inside one is not a
+    # heading and must not satisfy an anchor link.
+    return {_slugify(h) for h in HEADING.findall(FENCED_BLOCK.sub("", text))}
+
+
+def _check_link(path: Path, target: str) -> str | None:
+    """Validate one relative markdown link; return an error or ``None``."""
+    if re.match(r"^[a-z][a-z0-9+.\-]*:", target):  # http:, https:, mailto:
+        return None
+    dest, _, anchor = target.partition("#")
+    if dest:
+        dest_path = (path.parent / dest).resolve()
+        if not dest_path.exists():
+            return f"{path.name}: broken link target `{target}`"
+    else:
+        dest_path = path
+    if anchor and dest_path.suffix == ".md":
+        if anchor not in _anchors_of(dest_path.read_text()):
+            return f"{path.name}: broken link anchor `{target}`"
+    return None
 
 
 def resolve_dotted(ref: str) -> bool:
@@ -65,6 +111,20 @@ def check_file(path: Path) -> list[str]:
         for name in names.split():
             if name not in ALL_EXPERIMENTS:
                 errors.append(f"{path.name}: unknown experiment `{name}`")
+    from repro.cluster.scenarios import available_scenarios
+    from repro.scheduling.policies import available_policies
+
+    for command in MATRIX_CMD_LINE.findall(text):
+        for name in POLICY_FLAG.findall(command):
+            if name not in available_policies():
+                errors.append(f"{path.name}: unknown policy `{name}`")
+        for name in SCENARIO_FLAG.findall(command):
+            if name not in available_scenarios():
+                errors.append(f"{path.name}: unknown scenario `{name}`")
+    for target in sorted(set(MD_LINK.findall(text))):
+        error = _check_link(path, target)
+        if error:
+            errors.append(error)
     return errors
 
 

@@ -22,6 +22,9 @@ python scripts/check_docs.py
 echo "== API reference freshness =="
 python scripts/gen_api_docs.py --check
 
+echo "== results handbook freshness =="
+python scripts/gen_results_docs.py --check
+
 echo "== tiny parallel sweep (cold, then warm cache) =="
 CACHE="$(mktemp -d)"
 trap 'rm -rf "$CACHE"' EXIT
@@ -31,13 +34,17 @@ python -m repro experiments fig01 --quick --trials 2 --jobs 2 --cache-dir "$CACH
 echo "== repair-armed batched scenario sweep =="
 python -m repro experiments scenrepair --quick --trials 2 --jobs 2 --cache-dir "$CACHE"
 
+echo "== policy x scenario matrix (every policy, every scenario) =="
+python -m repro matrix --quick --trials 2 --jobs 2 --summary-only --cache-dir "$CACHE"
+
 if [ "$1" = "bench" ]; then
     echo "== bench (appending to BENCH_SWEEP.json) =="
     # --predictor-trials drives the prediction-path micro-bench (per-trial
-    # forecasting loop vs the batched predictor stack) so BENCH_SWEEP.json
-    # tracks the prediction series alongside the simulation ones.
+    # forecasting loop vs the batched predictor stack) and --matrix the
+    # policy x scenario grid, so BENCH_SWEEP.json tracks the prediction
+    # and matrix series alongside the simulation ones.
     python scripts/bench_sweep.py --trials 4 --jobs 2 --predictor-trials 64 \
-        --append-json BENCH_SWEEP.json
+        --matrix --append-json BENCH_SWEEP.json
 fi
 
 echo "smoke OK"

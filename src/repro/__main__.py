@@ -14,9 +14,20 @@ Commands
     List the available experiment names with their descriptions.
 ``scenarios [names...]``
     List the registered straggler scenarios (sweepable by name, e.g. as
-    the scenario axis of the ``scenlat`` / ``scenrepair`` experiments and
-    of ``scripts/bench_sweep.py --scenario``), or just the named ones; an
-    unknown name exits non-zero with the available registry in the error.
+    the scenario axis of the ``scenlat`` / ``scenrepair`` / ``matrix``
+    experiments and of ``scripts/bench_sweep.py --scenario``), or just the
+    named ones; an unknown name exits non-zero with the available registry
+    in the error.
+``policies [names...]``
+    List the registered mitigation policies (the policy axis of the
+    ``matrix`` experiment), or just the named ones; same error contract as
+    ``scenarios``.
+``matrix [--quick] [--trials N] [--jobs N] [--seed S] [--policy P ...]
+[--scenario S ...] [--summary-only] [--no-cache] [--cache-dir PATH]``
+    Evaluate the policy × scenario matrix on the batched engines: one
+    table per scenario plus the normalised-latency and waste summary
+    grids.  ``--policy`` / ``--scenario`` filter the registries (repeat
+    the flag); an unknown name exits 2 listing the registry.
 ``version``
     Print the package version.
 """
@@ -55,9 +66,77 @@ def _cmd_scenarios(names: list[str]) -> int:
     return 0
 
 
+def _cmd_policies(names: list[str]) -> int:
+    from repro.scheduling.policies import available_policies, get_policy
+
+    try:
+        specs = [get_policy(name) for name in (names or available_policies())]
+    except KeyError as error:
+        # get_policy's message already lists the available registry.
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+    for spec in specs:
+        defaults = ", ".join(f"{k}={v!r}" for k, v in spec.defaults)
+        print(f"{spec.name:16s} {spec.summary}")
+        print(f"{'':16s}   paper:   {spec.paper or '(beyond paper)'}")
+        print(f"{'':16s}   figures: {', '.join(spec.figures) or '(none)'}")
+        print(f"{'':16s}   params:  {defaults or '(none)'}")
+    return 0
+
+
+def _make_runner(args: argparse.Namespace):
+    """Build the SweepRunner shared sweep flags describe, or ``None`` (exit 2)."""
+    from repro.experiments.sweep import SweepRunner, default_cache_dir
+
+    cache_dir = None if args.no_cache else (args.cache_dir or default_cache_dir())
+    try:
+        return SweepRunner(jobs=args.jobs, cache_dir=cache_dir)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return None
+
+
+def _cmd_matrix(args: argparse.Namespace) -> int:
+    from repro.cluster.scenarios import get_scenario
+    from repro.experiments.matrix import run_matrix
+    from repro.scheduling.policies import get_policy
+
+    # Validate names before running anything, so the KeyError catch is
+    # scoped to the CLI contract (unknown name → exit 2 listing the
+    # registry) and never masks a failure inside a sweep cell.
+    try:
+        for name in args.policy or ():
+            get_policy(name)
+        for name in args.scenario or ():
+            get_scenario(name)
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+    runner = _make_runner(args)
+    if runner is None:
+        return 2
+    start = time.perf_counter()
+    result = run_matrix(
+        quick=args.quick,
+        seed=args.seed,
+        trials=args.trials,
+        runner=runner,
+        policies=tuple(args.policy) if args.policy else None,
+        scenarios=tuple(args.scenario) if args.scenario else None,
+    )
+    elapsed = time.perf_counter() - start
+    tables = (
+        [result.summary, result.waste] if args.summary_only else result.tables()
+    )
+    for table in tables:
+        print(table.format_table())
+        print(flush=True)
+    print(f"   [{elapsed:.1f}s]")
+    return 0
+
+
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from repro.experiments import ALL_EXPERIMENTS
-    from repro.experiments.sweep import SweepRunner, default_cache_dir
 
     targets = args.names or sorted(ALL_EXPERIMENTS)
     unknown = [n for n in targets if n not in ALL_EXPERIMENTS]
@@ -65,11 +144,8 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
         print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
         print(f"available: {', '.join(sorted(ALL_EXPERIMENTS))}", file=sys.stderr)
         return 2
-    cache_dir = None if args.no_cache else (args.cache_dir or default_cache_dir())
-    try:
-        runner = SweepRunner(jobs=args.jobs, cache_dir=cache_dir)
-    except ValueError as error:
-        print(f"error: {error}", file=sys.stderr)
+    runner = _make_runner(args)
+    if runner is None:
         return 2
     for name in targets:
         start = time.perf_counter()
@@ -90,19 +166,13 @@ def _positive_int(text: str) -> int:
     return value
 
 
-def build_parser() -> argparse.ArgumentParser:
-    """The CLI's argument parser (shared with ``scripts/``)."""
-    parser = argparse.ArgumentParser(
-        prog="python -m repro",
-        description="S2C2 (SC '19) reproduction toolkit",
-    )
-    sub = parser.add_subparsers(dest="command")
-    run_p = sub.add_parser("experiments", help="regenerate paper figures")
-    run_p.add_argument("names", nargs="*", help="figure ids (default: all)")
-    run_p.add_argument(
+def _sweep_flags() -> argparse.ArgumentParser:
+    """Parent parser: the sweep flags every sweep-running command shares."""
+    flags = argparse.ArgumentParser(add_help=False)
+    flags.add_argument(
         "--quick", action="store_true", help="reduced CI-scale configurations"
     )
-    run_p.add_argument(
+    flags.add_argument(
         "--trials",
         type=_positive_int,
         default=1,
@@ -110,28 +180,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="Monte-Carlo trials per sweep cell, simulated in vectorized "
         "batches and averaged (default: 1)",
     )
-    run_p.add_argument(
+    flags.add_argument(
         "--jobs",
         type=_positive_int,
         default=1,
         metavar="N",
         help="process-pool width for sweep cells (default: 1 = inline)",
     )
-    run_p.add_argument(
+    flags.add_argument(
         "--seed", type=int, default=0, help="base seed of trial 0 (default: 0)"
     )
-    run_p.add_argument(
+    flags.add_argument(
         "--no-cache",
         action="store_true",
         help="disable the on-disk sweep result cache",
     )
-    run_p.add_argument(
+    flags.add_argument(
         "--cache-dir",
         default=None,
         metavar="PATH",
         help="sweep cache directory (default: $REPRO_CACHE_DIR or "
         "~/.cache/repro/sweeps)",
     )
+    return flags
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (shared with ``scripts/``)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="S2C2 (SC '19) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command")
+    sweep_flags = _sweep_flags()
+    run_p = sub.add_parser(
+        "experiments", help="regenerate paper figures", parents=[sweep_flags]
+    )
+    run_p.add_argument("names", nargs="*", help="figure ids (default: all)")
     sub.add_parser("list", help="list available experiments")
     scen_p = sub.add_parser(
         "scenarios", help="list the registered straggler scenarios"
@@ -141,6 +226,39 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="*",
         help="scenario names to show (default: the whole registry); an "
         "unknown name fails with the available list",
+    )
+    pol_p = sub.add_parser(
+        "policies", help="list the registered mitigation policies"
+    )
+    pol_p.add_argument(
+        "names",
+        nargs="*",
+        help="policy names to show (default: the whole registry); an "
+        "unknown name fails with the available list",
+    )
+    mat_p = sub.add_parser(
+        "matrix",
+        help="policy × scenario evaluation matrix",
+        parents=[sweep_flags],
+    )
+    mat_p.add_argument(
+        "--policy",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="restrict to this policy (repeatable; default: whole registry)",
+    )
+    mat_p.add_argument(
+        "--scenario",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="restrict to this scenario (repeatable; default: whole registry)",
+    )
+    mat_p.add_argument(
+        "--summary-only",
+        action="store_true",
+        help="print only the two summary grids, not the per-scenario tables",
     )
     sub.add_parser("version", help="print the package version")
     return parser
@@ -155,6 +273,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_list()
     if args.command == "scenarios":
         return _cmd_scenarios(args.names)
+    if args.command == "policies":
+        return _cmd_policies(args.names)
+    if args.command == "matrix":
+        return _cmd_matrix(args)
     if args.command == "version":
         from repro import __version__
 

@@ -17,6 +17,7 @@ from repro.experiments import (
     fig11_waste_high,
     fig12_polynomial,
     fig13_scale,
+    matrix,
     scen_latency,
     scen_repair,
     sec61_prediction,
@@ -35,6 +36,7 @@ ALL_EXPERIMENTS = {
     "fig11": fig11_waste_high.run,
     "fig12": fig12_polynomial.run,
     "fig13": fig13_scale.run,
+    "matrix": matrix.run,
     "scenlat": scen_latency.run,
     "scenrepair": scen_repair.run,
     "sec61": sec61_prediction.run,

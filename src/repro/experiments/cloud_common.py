@@ -29,17 +29,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro.cluster.speed_models import StackedSpeeds, TraceSpeeds
-from repro.experiments.harness import (
-    run_coded_lr_like_batch,
-    run_overdecomposition_lr_like_batch,
-)
 from repro.experiments.sweep import SweepContext, register_run_scoped_cache
 from repro.prediction.lstm import LSTMSpeedModel
 from repro.prediction.predictor import BatchLSTMPredictor
 from repro.prediction.traces import STABLE, VOLATILE, TraceConfig, generate_speed_traces
-from repro.scheduling.s2c2 import GeneralS2C2Scheduler
-from repro.scheduling.static import StaticCodedScheduler
-from repro.scheduling.timeout import TimeoutPolicy
+from repro.scheduling.policies import build_policy
 
 __all__ = [
     "cloud_cell",
@@ -185,12 +179,16 @@ def _compute_cloud_cell(environment: str, ctx: SweepContext) -> dict:
 
     # Over-decomposition: all trials at once through the batched runner
     # (bitwise-equal to per-trial sessions; the latency never depends on
-    # the numeric payload).
-    over = run_overdecomposition_lr_like_batch(
-        rows,
-        cols,
+    # the numeric payload).  Runner construction — here and for the coded
+    # strategies below — comes from the policy registry
+    # (`repro.scheduling.policies`), the single source of truth the
+    # policy × scenario matrix sweeps too; the suite keeps its own trace
+    # replay and trained-LSTM forecaster via the runners' `run_batch`.
+    over = build_policy("overdecomp", N_WORKERS, MDS_K).run_batch(
         StackedSpeeds([TraceSpeeds(tr) for tr in traces]),
         _warmed_batch_predictor(lstm, histories, N_WORKERS),
+        rows=rows,
+        cols=cols,
         iterations=iterations,
     )
     total["over-decomposition"] = [float(v) for v in over.total_time]
@@ -198,27 +196,16 @@ def _compute_cloud_cell(environment: str, ctx: SweepContext) -> dict:
 
     misprediction: list[float] = [0.0] * ctx.trials
     for n in CODE_VARIANTS:
-        for label, scheduler, timeout in (
-            (
-                f"mds-{n}-{MDS_K}",
-                StaticCodedScheduler(coverage=MDS_K, num_chunks=10_000),
-                None,
-            ),
-            (
-                f"s2c2-{n}-{MDS_K}",
-                GeneralS2C2Scheduler(coverage=MDS_K, num_chunks=10_000),
-                TimeoutPolicy(),
-            ),
+        for label, policy_name in (
+            (f"mds-{n}-{MDS_K}", "mds"),
+            (f"s2c2-{n}-{MDS_K}", "timeout-repair"),
         ):
-            metrics = run_coded_lr_like_batch(
-                rows,
-                cols,
-                MDS_K,
-                scheduler,
+            metrics = build_policy(policy_name, n, MDS_K).run_batch(
                 StackedSpeeds([TraceSpeeds(tr[:n]) for tr in traces]),
                 _warmed_batch_predictor(lstm, histories, n),
+                rows=rows,
+                cols=cols,
                 iterations=iterations,
-                timeout=timeout,
             )
             total[label] = [float(v) for v in metrics.total_time]
             wasted[label] = metrics.wasted_fraction_of_assigned().tolist()

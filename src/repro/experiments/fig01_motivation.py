@@ -19,15 +19,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro.cluster.speed_models import ControlledSpeeds, StackedSpeeds
-from repro.experiments.harness import (
-    ExperimentResult,
-    run_coded_lr_like_batch,
-    run_replicated_lr_like,
-)
+from repro.experiments.harness import ExperimentResult, run_replicated_lr_like
 from repro.experiments.sweep import SweepContext, SweepRunner, SweepSpec
 from repro.prediction.predictor import LastValuePredictor, StackedPredictor
-from repro.scheduling.replication import ReplicaPlacement, SpeculationConfig
-from repro.scheduling.static import StaticCodedScheduler
+from repro.scheduling.policies import build_policy
+from repro.scheduling.replication import ReplicaPlacement
 
 __all__ = ["run", "main"]
 
@@ -57,12 +53,13 @@ def _cell(params: dict, ctx: SweepContext) -> list[float]:
     iterations = 5 if ctx.quick else 15
     if strategy == "uncoded-3rep":
         # Fig 1's uncoded baseline is classic strict-locality Hadoop: no
-        # data movement for speculative copies.  At r = 3 stragglers we
+        # data movement for speculative copies (the registry's `uncoded`
+        # policy; `k` is meaningless for it).  At r = 3 stragglers we
         # place them adversarially on all three replica holders of one
         # partition — the paper's "all the nodes with replicas are also
         # stragglers" worst case.  The latency never depends on the matrix
         # values, so the baseline runs on a zero matrix of the right shape.
-        strict = SpeculationConfig(allow_data_movement=False)
+        strict = build_policy("uncoded", N_WORKERS, 1).config
         placement = ReplicaPlacement(N_WORKERS, strict.replication, seed=0)
         ids = placement.holders(0) if s == strict.replication else None
         matrix = np.zeros((rows, cols))
@@ -77,13 +74,11 @@ def _cell(params: dict, ctx: SweepContext) -> list[float]:
             for seed in ctx.seeds
         ]
     k = {"mds-12-10": 10, "mds-12-9": 9}[strategy]
-    metrics = run_coded_lr_like_batch(
-        rows,
-        cols,
-        k,
-        StaticCodedScheduler(coverage=k, num_chunks=10_000),
+    metrics = build_policy("mds", N_WORKERS, k).run_batch(
         StackedSpeeds([_speeds(s, seed) for seed in ctx.seeds]),
         StackedPredictor([LastValuePredictor(N_WORKERS) for _ in ctx.seeds]),
+        rows=rows,
+        cols=cols,
         iterations=iterations,
     )
     return [float(v) for v in metrics.total_time]

@@ -24,20 +24,14 @@ from __future__ import annotations
 import numpy as np
 
 from repro.cluster.speed_models import ControlledSpeeds, StackedSpeeds
-from repro.experiments.harness import (
-    ExperimentResult,
-    run_coded_lr_like_batch,
-    run_replicated_lr_like,
-)
+from repro.experiments.harness import ExperimentResult, run_replicated_lr_like
 from repro.experiments.sweep import SweepContext, SweepRunner, SweepSpec
 from repro.prediction.predictor import (
     LastValuePredictor,
     OraclePredictor,
     StackedPredictor,
 )
-from repro.scheduling.s2c2 import BasicS2C2Scheduler, GeneralS2C2Scheduler
-from repro.scheduling.static import StaticCodedScheduler
-from repro.scheduling.timeout import TimeoutPolicy
+from repro.scheduling.policies import build_policy
 
 __all__ = ["run", "main", "STRATEGIES"]
 
@@ -51,6 +45,16 @@ STRATEGIES = (
     "s2c2-general-12-6",
 )
 
+#: Figure strategy label → (registered policy, k).  Runner construction
+#: comes from the policy registry (`repro.scheduling.policies`) so the
+#: figure and the policy × scenario matrix share one source of truth.
+_POLICY_OF = {
+    "mds-12-10": ("mds", 10),
+    "mds-12-6": ("mds", 6),
+    "s2c2-basic-12-6": ("s2c2-basic", 6),
+    "s2c2-general-12-6": ("s2c2-general", 6),
+}
+
 
 def _speeds(stragglers: int, seed: int) -> ControlledSpeeds:
     return ControlledSpeeds(
@@ -58,16 +62,29 @@ def _speeds(stragglers: int, seed: int) -> ControlledSpeeds:
     )
 
 
+def _coded_policy(strategy: str):
+    """The registry-built runner of one coded figure strategy.
+
+    Every coded strategy of Figs 6/7 — conventional MDS included — runs
+    repair-armed, as the paper's controlled-cluster experiments do, so
+    the policies are built with ``repair=True`` and the figure consumes
+    the policy's own timeout.
+    """
+    try:
+        name, k = _POLICY_OF[strategy]
+    except KeyError:
+        raise ValueError(f"unknown strategy {strategy!r}") from None
+    return build_policy(name, N_WORKERS, k, repair=True)
+
+
 def _coded_scheduler(strategy: str):
-    if strategy == "mds-12-10":
-        return StaticCodedScheduler(coverage=10, num_chunks=10_000), 10
-    if strategy == "mds-12-6":
-        return StaticCodedScheduler(coverage=6, num_chunks=10_000), 6
-    if strategy == "s2c2-basic-12-6":
-        return BasicS2C2Scheduler(coverage=6, num_chunks=10_000), 6
-    if strategy == "s2c2-general-12-6":
-        return GeneralS2C2Scheduler(coverage=6, num_chunks=10_000), 6
-    raise ValueError(f"unknown strategy {strategy!r}")
+    """Registry-built ``(scheduler, k)`` for one coded figure strategy.
+
+    The seed-style serial path of ``scripts/bench_sweep.py`` uses this to
+    mirror the original per-trial session loop.
+    """
+    policy = _coded_policy(strategy)
+    return policy.make_scheduler(), policy.k
 
 
 def _cell(params: dict, ctx: SweepContext) -> list[float]:
@@ -77,6 +94,9 @@ def _cell(params: dict, ctx: SweepContext) -> list[float]:
     rows, cols = (480, 120) if ctx.quick else (2400, 600)
     iterations = 4 if ctx.quick else 15
     if strategy == "uncoded-3rep":
+        # The registry's `replication` policy: enhanced Hadoop / LATE with
+        # data movement (`k` is meaningless for it).
+        config = build_policy("replication", N_WORKERS, 1).config
         matrix = np.zeros((rows, cols))  # latency is value-independent
         return [
             run_replicated_lr_like(
@@ -84,21 +104,18 @@ def _cell(params: dict, ctx: SweepContext) -> list[float]:
                 _speeds(s, seed),
                 LastValuePredictor(N_WORKERS),
                 iterations=iterations,
+                config=config,
             ).metrics.total_time
             for seed in ctx.seeds
         ]
-    scheduler, k = _coded_scheduler(strategy)
-    metrics = run_coded_lr_like_batch(
-        rows,
-        cols,
-        k,
-        scheduler,
+    metrics = _coded_policy(strategy).run_batch(
         StackedSpeeds([_speeds(s, seed) for seed in ctx.seeds]),
         StackedPredictor(
             [OraclePredictor(speed_model=_speeds(s, seed)) for seed in ctx.seeds]
         ),
+        rows=rows,
+        cols=cols,
         iterations=iterations,
-        timeout=TimeoutPolicy(),
     )
     return [float(v) for v in metrics.total_time]
 

@@ -16,7 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.cluster.speed_models import ControlledSpeeds, StackedSpeeds
-from repro.experiments.fig06_lr import _coded_scheduler
+from repro.experiments.fig06_lr import _coded_policy
 from repro.experiments.harness import (
     ExperimentResult,
     controlled_cost,
@@ -30,7 +30,6 @@ from repro.prediction.predictor import (
 )
 from repro.runtime.batch import BatchCodedRunner
 from repro.runtime.session import ReplicationSession
-from repro.scheduling.timeout import TimeoutPolicy
 
 __all__ = ["run", "main", "STRATEGIES"]
 
@@ -72,7 +71,7 @@ def _cell(params: dict, ctx: SweepContext) -> list[float]:
                 session.matvec("M", x)
             totals.append(session.metrics.total_time)
         return totals
-    scheduler, k = _coded_scheduler(strategy)  # same strategy set as Fig 6
+    policy = _coded_policy(strategy)  # same strategy set as Fig 6
     batch = BatchCodedRunner(
         speed_model=StackedSpeeds([_speeds(s, seed) for seed in ctx.seeds]),
         predictor=StackedPredictor(
@@ -80,9 +79,9 @@ def _cell(params: dict, ctx: SweepContext) -> list[float]:
         ),
         network=controlled_network(),
         cost=controlled_cost(),
-        timeout=TimeoutPolicy(),
+        timeout=policy.timeout,
     )
-    batch.register_matvec("M", n_pages, n_pages, k, scheduler)
+    batch.register_matvec("M", n_pages, n_pages, policy.k, policy.make_scheduler())
     for _ in range(iterations):
         batch.matvec("M")
     return [float(v) for v in batch.metrics.total_time]

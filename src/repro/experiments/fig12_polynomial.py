@@ -28,14 +28,17 @@ from repro.experiments.sweep import SweepContext, SweepRunner, SweepSpec
 from repro.prediction.predictor import StackedPredictor, StalePredictor
 from repro.prediction.traces import BURSTY, STABLE, generate_speed_traces
 from repro.runtime.batch import BatchCodedRunner
-from repro.scheduling.s2c2 import GeneralS2C2Scheduler
-from repro.scheduling.static import StaticCodedScheduler
-from repro.scheduling.timeout import TimeoutPolicy
+from repro.scheduling.policies import build_policy
 
 __all__ = ["run", "main"]
 
 N_WORKERS = 12
 SPLIT = 3  # a = b = 3, coverage 9
+
+#: Strategy label → registered policy; the bilinear Hessian operator is
+#: wired below (registry runners cover the mat-vec round pattern only),
+#: but the scheduler family and §4.3 timeout still come from one place.
+_POLICY_OF = {"static": "mds", "s2c2": "timeout-repair"}
 
 
 def _cell(params: dict, ctx: SweepContext) -> list[float]:
@@ -47,12 +50,9 @@ def _cell(params: dict, ctx: SweepContext) -> list[float]:
     miss = 0.0 if params["environment"] == "low" else 0.18
     samples, features = (200, 180) if ctx.quick else (1200, 600)
     iterations = 6 if ctx.quick else 15
-    if params["strategy"] == "s2c2":
-        scheduler = GeneralS2C2Scheduler(coverage=SPLIT * SPLIT, num_chunks=10_000)
-        timeout = TimeoutPolicy()
-    else:
-        scheduler = StaticCodedScheduler(coverage=SPLIT * SPLIT, num_chunks=10_000)
-        timeout = None
+    policy = build_policy(_POLICY_OF[params["strategy"]], N_WORKERS, SPLIT * SPLIT)
+    scheduler = policy.make_scheduler()
+    timeout = policy.timeout
     traces = [
         generate_speed_traces(N_WORKERS, iterations + 2, config, seed=seed)
         for seed in ctx.seeds

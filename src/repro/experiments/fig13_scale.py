@@ -14,18 +14,19 @@ from __future__ import annotations
 import numpy as np
 
 from repro.cluster.speed_models import BatchTraceSpeeds, TraceSpeeds
-from repro.experiments.harness import ExperimentResult, run_coded_lr_like_batch
+from repro.experiments.harness import ExperimentResult
 from repro.experiments.sweep import SweepContext, SweepRunner, SweepSpec
 from repro.prediction.predictor import StackedPredictor, StalePredictor
 from repro.prediction.traces import BURSTY, STABLE, generate_speed_traces
-from repro.scheduling.s2c2 import GeneralS2C2Scheduler
-from repro.scheduling.static import StaticCodedScheduler
-from repro.scheduling.timeout import TimeoutPolicy
+from repro.scheduling.policies import build_policy
 
 __all__ = ["run", "main"]
 
 N_WORKERS = 50
 MDS_K = 40
+
+#: Strategy label → registered policy (`repro.scheduling.policies`).
+_POLICY_OF = {"static": "mds", "s2c2": "timeout-repair"}
 
 
 def _cell(params: dict, ctx: SweepContext) -> list[float]:
@@ -39,21 +40,12 @@ def _cell(params: dict, ctx: SweepContext) -> list[float]:
     # (Aᵀ of a wide matrix would have too few rows per (50,40) block).
     size = 1200 if ctx.quick else 4000
     iterations = 3 if ctx.quick else 15
-    if params["strategy"] == "s2c2":
-        scheduler = GeneralS2C2Scheduler(coverage=MDS_K, num_chunks=10_000)
-        timeout = TimeoutPolicy()
-    else:
-        scheduler = StaticCodedScheduler(coverage=MDS_K, num_chunks=10_000)
-        timeout = None
     traces = [
         generate_speed_traces(N_WORKERS, 2 * iterations + 2, config, seed=seed)
         for seed in ctx.seeds
     ]
-    metrics = run_coded_lr_like_batch(
-        size,
-        size,
-        MDS_K,
-        scheduler,
+    policy = build_policy(_POLICY_OF[params["strategy"]], N_WORKERS, MDS_K)
+    metrics = policy.run_batch(
         BatchTraceSpeeds.from_traces(traces),
         StackedPredictor(
             [
@@ -63,8 +55,9 @@ def _cell(params: dict, ctx: SweepContext) -> list[float]:
                 for t, seed in enumerate(ctx.seeds)
             ]
         ),
+        rows=size,
+        cols=size,
         iterations=iterations,
-        timeout=timeout,
     )
     return [float(v) for v in metrics.total_time]
 

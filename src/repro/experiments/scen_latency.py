@@ -27,12 +27,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro.cluster.scenarios import available_scenarios, scenario_batch
-from repro.experiments.harness import ExperimentResult, run_coded_lr_like_batch
+from repro.experiments.harness import ExperimentResult
 from repro.experiments.sweep import SweepContext, SweepRunner, SweepSpec
 from repro.prediction.predictor import LastValuePredictor, StackedPredictor
-from repro.scheduling.s2c2 import GeneralS2C2Scheduler
-from repro.scheduling.static import StaticCodedScheduler
-from repro.scheduling.timeout import TimeoutPolicy
+from repro.scheduling.policies import build_policy
 
 __all__ = ["run", "main", "N_WORKERS", "COVERAGE", "STRATEGIES"]
 
@@ -40,28 +38,23 @@ N_WORKERS = 12
 COVERAGE = 8
 STRATEGIES = ("mds", "s2c2")
 
+#: Strategy label → registered policy (`repro.scheduling.policies`): the
+#: full repair-armed system against the conventional baseline.
+_POLICY_OF = {"mds": "mds", "s2c2": "timeout-repair"}
+
 
 def _cell(params: dict, ctx: SweepContext) -> list[float]:
     """Per-trial total LR-like time for one (scenario, strategy) point."""
     scenario = params["scenario"]
-    strategy = params["strategy"]
     rows, cols = (480, 120) if ctx.quick else (2400, 600)
     iterations = 4 if ctx.quick else 15
-    if strategy == "s2c2":
-        scheduler = GeneralS2C2Scheduler(coverage=COVERAGE, num_chunks=10_000)
-        timeout = TimeoutPolicy()
-    else:
-        scheduler = StaticCodedScheduler(coverage=COVERAGE, num_chunks=10_000)
-        timeout = None
-    metrics = run_coded_lr_like_batch(
-        rows,
-        cols,
-        COVERAGE,
-        scheduler,
+    policy = build_policy(_POLICY_OF[params["strategy"]], N_WORKERS, COVERAGE)
+    metrics = policy.run_batch(
         scenario_batch(scenario, N_WORKERS, ctx.seeds),
         StackedPredictor([LastValuePredictor(N_WORKERS) for _ in ctx.seeds]),
+        rows=rows,
+        cols=cols,
         iterations=iterations,
-        timeout=timeout,
     )
     return [float(v) for v in metrics.total_time]
 

@@ -24,11 +24,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro.cluster.scenarios import available_scenarios, scenario_batch
-from repro.experiments.harness import ExperimentResult, run_coded_lr_like_batch
+from repro.experiments.harness import ExperimentResult
 from repro.experiments.sweep import SweepContext, SweepRunner, SweepSpec
 from repro.prediction.predictor import LastValuePredictor, StackedPredictor
-from repro.scheduling.s2c2 import GeneralS2C2Scheduler
-from repro.scheduling.timeout import TimeoutPolicy
+from repro.scheduling.policies import build_policy
 
 __all__ = ["run", "main", "N_WORKERS", "COVERAGE", "VARIANTS"]
 
@@ -36,22 +35,23 @@ N_WORKERS = 12
 COVERAGE = 8
 VARIANTS = ("repair", "no-repair")
 
+#: Ablation variant → registered policy (`repro.scheduling.policies`):
+#: the same general-S2C2 schedule with and without the §4.3 timeout.
+_POLICY_OF = {"repair": "timeout-repair", "no-repair": "s2c2-general"}
+
 
 def _cell(params: dict, ctx: SweepContext) -> dict:
     """Per-trial totals and repair counts for one (scenario, variant)."""
     scenario = params["scenario"]
-    variant = params["variant"]
     rows, cols = (480, 120) if ctx.quick else (2400, 600)
     iterations = 4 if ctx.quick else 15
-    metrics = run_coded_lr_like_batch(
-        rows,
-        cols,
-        COVERAGE,
-        GeneralS2C2Scheduler(coverage=COVERAGE, num_chunks=10_000),
+    policy = build_policy(_POLICY_OF[params["variant"]], N_WORKERS, COVERAGE)
+    metrics = policy.run_batch(
         scenario_batch(scenario, N_WORKERS, ctx.seeds),
         StackedPredictor([LastValuePredictor(N_WORKERS) for _ in ctx.seeds]),
+        rows=rows,
+        cols=cols,
         iterations=iterations,
-        timeout=TimeoutPolicy() if variant == "repair" else None,
     )
     return {
         "total": [float(v) for v in metrics.total_time],

@@ -21,9 +21,10 @@ Caching
 A cell's key hashes the cell function's identity, *the source bytes of the
 whole ``repro`` package* (a cell's value depends on the simulators and
 schedulers it calls into, not just its own module), the straggler-scenario
-registry contents (cells resolve scenarios by name, and scenarios may be
-registered at runtime from outside the package tree — see
-:func:`repro.cluster.scenarios.registry_digest`), the cell parameters,
+and mitigation-policy registry contents (cells resolve scenarios and
+policies by name, and both may be registered at runtime from outside the
+package tree — see :func:`repro.cluster.scenarios.registry_digest` and
+:func:`repro.scheduling.policies.registry_digest`), the cell parameters,
 the seeds, the quick flag, and the package version.  Any source edit or
 registry change therefore invalidates the cache — correctness over
 incrementality; the incremental wins come from re-runs and grown grids
@@ -274,15 +275,19 @@ class SweepRunner:
 
     def _cell_key(self, spec: SweepSpec, params: dict, ctx: SweepContext) -> str:
         # Imported lazily (and not lru-cached like the package digest):
-        # the registry can gain scenarios at runtime, and a cell resolving
-        # a scenario by name must never hit a cache entry computed under a
-        # different registry.
+        # both registries can gain entries at runtime, and a cell resolving
+        # a scenario or policy by name must never hit a cache entry
+        # computed under a different registry.
         from repro.cluster.scenarios import registry_digest
+        from repro.scheduling.policies import (
+            registry_digest as policy_registry_digest,
+        )
 
         identity = {
             "cell": f"{spec.cell.__module__}.{spec.cell.__qualname__}",
             "source": _package_source_digest(),
             "scenarios": registry_digest(),
+            "policies": policy_registry_digest(),
             "params": _jsonable(params),
             "seeds": list(ctx.seeds),
             "quick": ctx.quick,

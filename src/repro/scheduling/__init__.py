@@ -12,12 +12,21 @@
 * :class:`~repro.scheduling.overdecomposition.OverDecompositionPlacement`
   — Charm++-like over-decomposition with migration.
 * :mod:`repro.scheduling.timeout` — §4.3 mis-prediction repair.
+* :mod:`repro.scheduling.policies` — the registry of *named* mitigation
+  policies wrapping all of the above (sweepable by string, like the
+  straggler scenarios).
 """
 
 from repro.scheduling.base import ChunkAssignment, CodedWorkPlan, Scheduler, full_plan
 from repro.scheduling.overdecomposition import (
     OverDecompositionPlacement,
     OverDecompositionPlan,
+)
+from repro.scheduling.policies import (
+    available_policies,
+    build_policy,
+    get_policy,
+    register_policy,
 )
 from repro.scheduling.replication import ReplicaPlacement, SpeculationConfig
 from repro.scheduling.s2c2 import (
@@ -42,7 +51,11 @@ __all__ = [
     "StaticCodedScheduler",
     "TimeoutPolicy",
     "allocate_chunks",
+    "available_policies",
+    "build_policy",
     "full_plan",
+    "get_policy",
+    "register_policy",
     "repair_assignments",
     "wraparound_plan",
 ]

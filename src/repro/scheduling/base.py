@@ -44,7 +44,6 @@ class ChunkAssignment:
     def __post_init__(self) -> None:
         if self.worker < 0:
             raise ValueError(f"worker must be >= 0, got {self.worker}")
-        last_end = None
         for begin, end in self.ranges:
             if begin < 0 or end < begin:
                 raise ValueError(f"invalid chunk range ({begin}, {end})")
@@ -53,7 +52,6 @@ class ChunkAssignment:
         for (b1, e1), (b2, _e2) in zip(ordered, ordered[1:]):
             if b2 < e1:
                 raise ValueError(f"overlapping chunk ranges near ({b1}, {e1})")
-        del last_end
 
     @property
     def num_chunks(self) -> int:

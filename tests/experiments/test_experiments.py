@@ -18,8 +18,8 @@ class TestRegistry:
     def test_every_figure_present(self):
         expected = {
             "fig01", "fig02", "fig03", "fig06", "fig07", "fig08",
-            "fig09", "fig10", "fig11", "fig12", "fig13", "sec61",
-            "scenlat", "scenrepair",
+            "fig09", "fig10", "fig11", "fig12", "fig13", "matrix",
+            "sec61", "scenlat", "scenrepair",
         }
         assert set(ALL_EXPERIMENTS) == expected
 

@@ -13,7 +13,7 @@ class TestCli:
     def test_list(self, capsys):
         assert main(["list"]) == 0
         out = capsys.readouterr().out
-        for name in ("fig01", "fig13", "sec61", "scenlat", "scenrepair"):
+        for name in ("fig01", "fig13", "sec61", "scenlat", "scenrepair", "matrix"):
             assert name in out
 
     def test_scenarios_lists_registry(self, capsys):

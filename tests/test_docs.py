@@ -44,7 +44,9 @@ def test_required_docs_exist():
         "docs/architecture.md",
         "docs/extending.md",
         "docs/scenarios.md",
+        "docs/policies.md",
         "docs/api.md",
+        "docs/results.md",
     ):
         assert (REPO_ROOT / path).exists(), path
 
@@ -64,6 +66,46 @@ def test_api_check_flag_detects_staleness(tmp_path, monkeypatch, capsys):
     assert generator.main(["--check"]) == 1
     assert generator.main([]) == 0  # writes the fresh file
     assert generator.main(["--check"]) == 0
+
+
+def test_results_handbook_is_current():
+    # docs/results.md is generated from the (fully seeded, quick-scale)
+    # policy × scenario matrix; tier-1 fails when it drifts from what the
+    # current sources simulate.  Regenerate with:
+    # PYTHONPATH=src python scripts/gen_results_docs.py
+    generator = _load_script("gen_results_docs")
+    assert (REPO_ROOT / "docs" / "results.md").read_text() == generator.build()
+
+
+def test_results_check_flag_detects_staleness(tmp_path, monkeypatch, capsys):
+    generator = _load_script("gen_results_docs")
+    stale = tmp_path / "results.md"
+    stale.write_text("# stale\n")
+    monkeypatch.setattr(generator, "RESULTS_PATH", stale)
+    assert generator.main(["--check"]) == 1
+    assert generator.main([]) == 0  # writes the fresh file
+    assert generator.main(["--check"]) == 0
+
+
+def test_checker_flags_broken_links_and_matrix_names(tmp_path):
+    checker = _load_checker()
+    bad = tmp_path / "bad.md"
+    bad.write_text(
+        "# Only heading\n"
+        "see [gone](missing.md) and [lost](#no-such-anchor)\n"
+        "run `python -m repro matrix --policy no-such-policy "
+        "--scenario no-such-scenario`\n"
+    )
+    errors = checker.check_file(bad)
+    assert len(errors) == 4
+
+    good = tmp_path / "good.md"
+    good.write_text(
+        "# Policy pages\n\n### policy: mds\n\n"
+        "see [pages](#policy-mds) and [self](good.md#policy-pages)\n"
+        "run `python -m repro matrix --policy mds --scenario spot`\n"
+    )
+    assert checker.check_file(good) == []
 
 
 @pytest.mark.parametrize(
