@@ -1,7 +1,8 @@
 """Benchmark: seed-style serial experiment loop vs the sweep engine.
 
-Usage:  python scripts/bench_sweep.py [--trials N] [--jobs N] [--quick/--full]
-            [--scenario NAME] [--predictor-trials N] [--matrix]
+Usage:  python scripts/bench_sweep.py [--trials N] [--jobs N] [--executor NAME]
+            [--quick/--full] [--scenario NAME] [--predictor-trials N]
+            [--matrix] [--engine] [--engine-trials N] [--engine-jobs N]
             [--append-json PATH]
 
 Measures one representative controlled-cluster figure (Fig 6: 5 strategies
@@ -28,6 +29,16 @@ registered straggler scenario, all trials batched per cell) cold and then
 against a warm on-disk cache — the end-to-end cost of regenerating the
 ``docs/results.md`` handbook.
 
+The engine micro-bench (``--engine``) times one *fat* cell — a single
+(strategy, straggler-count) grid point with ``--engine-trials`` Monte-Carlo
+trials — two ways at ``--engine-jobs`` pool width: **cell-granular** (the
+pre-engine behaviour: the whole cell is one work unit, so a pool cannot
+help and one core carries everything) and **trial-sharded** (the execution
+engine's work-plan layer splits the cell into seed-strided shards that
+spread over the pool).  Shard merges are asserted equal to the monolithic
+value; the speedup is pure scheduling-granularity win and scales with
+physical cores (on a single-core machine the two are expected to tie).
+
 The prediction-path micro-bench (``--predictor-trials``) drives the §6.2
 online LSTM forecasting loop — the prediction-in-the-loop side of every
 cloud experiment — through a homogeneous ``StackedPredictor`` twice: once
@@ -49,6 +60,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import tempfile
 import time
 
@@ -119,13 +131,52 @@ def bench_serial_sessions(quick: bool, trials: int) -> float:
     return time.perf_counter() - start
 
 
-def bench_sweep(quick: bool, trials: int, jobs: int, cache_dir) -> float:
+def bench_sweep(
+    quick: bool, trials: int, jobs: int, cache_dir, executor: str = "process"
+) -> float:
     from repro.experiments.fig06_lr import run
     from repro.experiments.sweep import SweepRunner
 
     start = time.perf_counter()
-    run(quick=quick, trials=trials, runner=SweepRunner(jobs=jobs, cache_dir=cache_dir))
+    run(
+        quick=quick,
+        trials=trials,
+        runner=SweepRunner(jobs=jobs, cache_dir=cache_dir, executor=executor),
+    )
     return time.perf_counter() - start
+
+
+def bench_engine(
+    quick: bool, trials: int, jobs: int, executor: str = "process"
+) -> tuple[float, float, int]:
+    """One fat cell: cell-granular scheduling vs trial-sharded scheduling.
+
+    Returns ``(cell_granular_seconds, sharded_seconds, n_shards)``.  The
+    cell-granular run forces one shard per cell (``shard_size=trials``) —
+    exactly the pre-engine pool behaviour, where a single large-trial cell
+    pins one core while the rest idle; the sharded run lets the work-plan
+    layer split it.  Values are asserted identical (the shard-merge
+    bitwise contract).
+    """
+    from repro.engine.plan import compile_plan
+    from repro.experiments.fig06_lr import _cell
+    from repro.experiments.sweep import SweepRunner, SweepSpec
+
+    spec = SweepSpec(
+        name="engine-fat-cell",
+        cell=_cell,
+        axes=(("strategy", ("s2c2-general-12-6",)), ("stragglers", (3,))),
+        trials=trials,
+        quick=quick,
+    )
+    start = time.perf_counter()
+    mono = SweepRunner(jobs=jobs, shard_size=trials, executor=executor).run(spec)
+    cell_s = time.perf_counter() - start
+    start = time.perf_counter()
+    sharded = SweepRunner(jobs=jobs, executor=executor).run(spec)
+    shard_s = time.perf_counter() - start
+    assert sharded.values == mono.values  # bitwise shard-merge contract
+    return cell_s, shard_s, len(compile_plan(spec).shards)
 
 
 def bench_fig13(quick: bool, trials: int, jobs: int) -> tuple[float, float]:
@@ -304,9 +355,20 @@ def bench_predictor_path(quick: bool, trials: int) -> tuple[float, float, int]:
 
 
 def main() -> None:
+    # Shared argparse types: bad --trials/--jobs/--executor values exit 2
+    # naming the flag, exactly like the `python -m repro` subcommands.
+    from repro.engine.options import executor_name, positive_int
+
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--trials", type=int, default=8)
-    parser.add_argument("--jobs", type=int, default=2)
+    parser.add_argument("--trials", type=positive_int, default=8)
+    parser.add_argument("--jobs", type=positive_int, default=2)
+    parser.add_argument(
+        "--executor",
+        type=executor_name,
+        default="process",
+        metavar="NAME",
+        help="executor backend for the sweep benches (default: process)",
+    )
     parser.add_argument(
         "--full", action="store_true", help="paper-scale sizes (slow)"
     )
@@ -318,7 +380,7 @@ def main() -> None:
     )
     parser.add_argument(
         "--predictor-trials",
-        type=int,
+        type=positive_int,
         default=64,
         metavar="N",
         help="trial count for the prediction-path micro-bench (default: 64)",
@@ -328,6 +390,26 @@ def main() -> None:
         action="store_true",
         help="also time the policy × scenario evaluation matrix "
         "(cold sweep, then warm on-disk cache)",
+    )
+    parser.add_argument(
+        "--engine",
+        action="store_true",
+        help="also time one fat cell: cell-granular vs trial-sharded "
+        "scheduling at --engine-jobs pool width",
+    )
+    parser.add_argument(
+        "--engine-trials",
+        type=positive_int,
+        default=256,
+        metavar="N",
+        help="trial count of the fat engine-bench cell (default: 256)",
+    )
+    parser.add_argument(
+        "--engine-jobs",
+        type=positive_int,
+        default=4,
+        metavar="N",
+        help="pool width of the engine bench (default: 4)",
     )
     parser.add_argument(
         "--append-json",
@@ -348,18 +430,22 @@ def main() -> None:
         "quick": quick,
         "trials": args.trials,
         "jobs": args.jobs,
+        "executor": args.executor,
         "scenario": args.scenario,
+        # Pool speedups are bounded by physical cores; recording the host
+        # width keeps the BENCH_SWEEP.json trajectory interpretable.
+        "cpus": os.cpu_count(),
     }
 
     serial = bench_serial_sessions(quick, args.trials)
     print(f"fig06  serial sessions ({args.trials} trials): {serial:7.2f}s")
     with tempfile.TemporaryDirectory() as cache:
-        swept = bench_sweep(quick, args.trials, args.jobs, cache)
+        swept = bench_sweep(quick, args.trials, args.jobs, cache, args.executor)
         print(
             f"fig06  sweep engine  (--jobs {args.jobs}, batched): "
             f"{swept:7.2f}s   ({serial / swept:.1f}x)"
         )
-        warm = bench_sweep(quick, args.trials, args.jobs, cache)
+        warm = bench_sweep(quick, args.trials, args.jobs, cache, args.executor)
         print(f"fig06  sweep engine  (warm cache):        {warm:7.2f}s")
     record["fig06"] = {"serial": serial, "sweep": swept, "warm": warm}
 
@@ -415,6 +501,27 @@ def main() -> None:
             f"({cold / warm:.1f}x)"
         )
         record["matrix"] = {"cold": cold, "warm": warm, "cells": cells}
+
+    if args.engine:
+        cell_s, shard_s, shards = bench_engine(
+            quick, args.engine_trials, args.engine_jobs, args.executor
+        )
+        print(
+            f"engine cell-granular (1 cell, {args.engine_trials} trials, "
+            f"--jobs {args.engine_jobs}): {cell_s:7.2f}s"
+        )
+        print(
+            f"engine trial-sharded ({shards} shards):       {shard_s:7.2f}s   "
+            f"({cell_s / shard_s:.1f}x)"
+        )
+        record["engine"] = {
+            "cell_granular": cell_s,
+            "sharded": shard_s,
+            "trials": args.engine_trials,
+            "jobs": args.engine_jobs,
+            "shards": shards,
+            "executor": args.executor,
+        }
 
     if args.append_json:
         with open(args.append_json, "a") as handle:

@@ -13,6 +13,11 @@ Scans README.md and docs/*.md (by default) for
   each must be registered in ``repro.experiments.ALL_EXPERIMENTS``;
 * policy / scenario names passed via ``--policy`` / ``--scenario`` on
   ``python -m repro matrix`` example lines — each must be registered;
+* every ``--flag`` on a ``python -m repro <subcommand>`` example line —
+  each must be accepted by that subcommand's argument parser (so docs
+  can't advertise ``--executor`` / ``--resume`` spellings the CLI does
+  not take), and every ``--executor NAME`` value must be a registered
+  executor backend;
 * relative markdown links (``[text](other.md)``, ``[text](#anchor)``,
   ``[text](other.md#anchor)``) — the target file must exist next to the
   referring document and the anchor must match one of its headings
@@ -26,6 +31,7 @@ Exits non-zero listing every broken reference, so CI (and
 
 from __future__ import annotations
 
+import functools
 import importlib
 import re
 import sys
@@ -39,8 +45,13 @@ PATHLIKE = re.compile(
 )
 EXPERIMENT_CMD = re.compile(r"python -m repro experiments ((?:[a-z0-9]+ )*[a-z0-9]+)")
 MATRIX_CMD_LINE = re.compile(r"python -m repro matrix(?:[^\n]*\\\n)*[^\n]*")
+REPRO_CMD_LINE = re.compile(
+    r"python -m repro ([a-z]+)((?:[^\n]*\\\n)*[^\n]*)"
+)
 POLICY_FLAG = re.compile(r"--policy ([a-z0-9\-]+)")
 SCENARIO_FLAG = re.compile(r"--scenario ([a-z0-9\-]+)")
+CLI_FLAG = re.compile(r"(--[a-z][a-z0-9\-]*)")
+EXECUTOR_FLAG = re.compile(r"--executor[= ]([A-Za-z0-9_\-]+)")
 MD_LINK = re.compile(r"(?<!!)\[[^\]\[]*\]\(([^()\s]+)\)")
 HEADING = re.compile(r"^#{1,6}\s+(.+?)\s*$", re.MULTILINE)
 
@@ -76,6 +87,25 @@ def _check_link(path: Path, target: str) -> str | None:
         if anchor not in _anchors_of(dest_path.read_text()):
             return f"{path.name}: broken link anchor `{target}`"
     return None
+
+
+@functools.lru_cache(maxsize=1)
+def _cli_options() -> dict[str, frozenset[str]]:
+    """Accepted option strings per ``python -m repro`` subcommand."""
+    import argparse
+
+    from repro.__main__ import build_parser
+
+    parser = build_parser()
+    subparsers = next(
+        action
+        for action in parser._actions
+        if isinstance(action, argparse._SubParsersAction)
+    )
+    return {
+        name: frozenset(sub._option_string_actions)
+        for name, sub in subparsers.choices.items()
+    }
 
 
 def resolve_dotted(ref: str) -> bool:
@@ -121,6 +151,21 @@ def check_file(path: Path) -> list[str]:
         for name in SCENARIO_FLAG.findall(command):
             if name not in available_scenarios():
                 errors.append(f"{path.name}: unknown scenario `{name}`")
+    from repro.engine.executors import available_executors
+
+    cli_options = _cli_options()
+    for subcommand, rest in REPRO_CMD_LINE.findall(text):
+        if subcommand not in cli_options:
+            errors.append(f"{path.name}: unknown subcommand `{subcommand}`")
+            continue
+        for flag in sorted(set(CLI_FLAG.findall(rest))):
+            if flag not in cli_options[subcommand]:
+                errors.append(
+                    f"{path.name}: `repro {subcommand}` takes no `{flag}`"
+                )
+        for name in EXECUTOR_FLAG.findall(rest):
+            if name not in available_executors() and name != "NAME":
+                errors.append(f"{path.name}: unknown executor `{name}`")
     for target in sorted(set(MD_LINK.findall(text))):
         error = _check_link(path, target)
         if error:

@@ -25,11 +25,16 @@ python scripts/gen_api_docs.py --check
 echo "== results handbook freshness =="
 python scripts/gen_results_docs.py --check
 
-echo "== tiny parallel sweep (cold, then warm cache) =="
+echo "== tiny parallel sweep (cold, warm run store, then --resume) =="
 CACHE="$(mktemp -d)"
 trap 'rm -rf "$CACHE"' EXIT
 python -m repro experiments fig01 --quick --trials 2 --jobs 2 --cache-dir "$CACHE"
 python -m repro experiments fig01 --quick --trials 2 --jobs 2 --cache-dir "$CACHE"
+python -m repro experiments fig01 --quick --trials 2 --jobs 2 --cache-dir "$CACHE" --resume
+
+echo "== sharded thread-executor sweep (one fat cell over the pool) =="
+python -m repro experiments fig01 --quick --trials 8 --jobs 2 \
+    --executor thread --shard-size 4 --cache-dir "$CACHE"
 
 echo "== repair-armed batched scenario sweep =="
 python -m repro experiments scenrepair --quick --trials 2 --jobs 2 --cache-dir "$CACHE"
@@ -40,11 +45,13 @@ python -m repro matrix --quick --trials 2 --jobs 2 --summary-only --cache-dir "$
 if [ "$1" = "bench" ]; then
     echo "== bench (appending to BENCH_SWEEP.json) =="
     # --predictor-trials drives the prediction-path micro-bench (per-trial
-    # forecasting loop vs the batched predictor stack) and --matrix the
-    # policy x scenario grid, so BENCH_SWEEP.json tracks the prediction
-    # and matrix series alongside the simulation ones.
+    # forecasting loop vs the batched predictor stack), --matrix the
+    # policy x scenario grid, and --engine the fat-cell scheduling bench
+    # (cell-granular vs trial-sharded at --engine-jobs width), so
+    # BENCH_SWEEP.json tracks the prediction, matrix, and engine series
+    # alongside the simulation ones.
     python scripts/bench_sweep.py --trials 4 --jobs 2 --predictor-trials 64 \
-        --matrix --append-json BENCH_SWEEP.json
+        --matrix --engine --append-json BENCH_SWEEP.json
 fi
 
 echo "smoke OK"

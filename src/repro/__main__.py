@@ -2,14 +2,19 @@
 
 Commands
 --------
-``experiments [names...] [--quick] [--trials N] [--jobs N] [--no-cache]
+``experiments [names...] [--quick] [--trials N] [--jobs N]
+[--executor NAME] [--shard-size N] [--resume] [--no-cache]
 [--cache-dir PATH] [--seed S]``
     Regenerate the paper's figures (all of them by default) and print the
     tables.  ``--quick`` uses the reduced CI-scale configurations;
     ``--trials`` averages every figure over N seeded Monte-Carlo trials
-    (simulated in vectorized batches); ``--jobs`` runs sweep cells on a
-    process pool; results are cached on disk keyed by content hash unless
-    ``--no-cache`` is given.
+    (simulated in vectorized batches); ``--jobs`` spreads shard work units
+    over the selected ``--executor`` backend (``serial`` / ``thread`` /
+    ``process``) — large-trial cells are split into deterministic trial
+    shards, so one fat cell scales across cores; results are persisted to
+    the append-only run store keyed by content hash unless ``--no-cache``
+    is given, and ``--resume`` picks an interrupted sweep up exactly where
+    it stopped.
 ``list``
     List the available experiment names with their descriptions.
 ``scenarios [names...]``
@@ -22,14 +27,19 @@ Commands
     List the registered mitigation policies (the policy axis of the
     ``matrix`` experiment), or just the named ones; same error contract as
     ``scenarios``.
-``matrix [--quick] [--trials N] [--jobs N] [--seed S] [--policy P ...]
-[--scenario S ...] [--summary-only] [--no-cache] [--cache-dir PATH]``
+``matrix [--quick] [--trials N] [--jobs N] [--executor NAME]
+[--shard-size N] [--resume] [--seed S] [--policy P ...] [--scenario S ...]
+[--summary-only] [--no-cache] [--cache-dir PATH]``
     Evaluate the policy × scenario matrix on the batched engines: one
     table per scenario plus the normalised-latency and waste summary
     grids.  ``--policy`` / ``--scenario`` filter the registries (repeat
     the flag); an unknown name exits 2 listing the registry.
 ``version``
     Print the package version.
+
+Validation is uniform across subcommands: a bad ``--trials`` / ``--jobs``
+/ ``--executor`` / ``--shard-size`` value exits 2 with a message naming
+the flag (the shared types live in :mod:`repro.engine.options`).
 """
 
 from __future__ import annotations
@@ -90,7 +100,13 @@ def _make_runner(args: argparse.Namespace):
 
     cache_dir = None if args.no_cache else (args.cache_dir or default_cache_dir())
     try:
-        return SweepRunner(jobs=args.jobs, cache_dir=cache_dir)
+        return SweepRunner(
+            jobs=args.jobs,
+            cache_dir=cache_dir,
+            executor=args.executor,
+            shard_size=args.shard_size,
+            resume=args.resume,
+        )
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return None
@@ -99,6 +115,7 @@ def _make_runner(args: argparse.Namespace):
 def _cmd_matrix(args: argparse.Namespace) -> int:
     from repro.cluster.scenarios import get_scenario
     from repro.experiments.matrix import run_matrix
+    from repro.experiments.sweep import NothingToResumeError
     from repro.scheduling.policies import get_policy
 
     # Validate names before running anything, so the KeyError catch is
@@ -116,14 +133,18 @@ def _cmd_matrix(args: argparse.Namespace) -> int:
     if runner is None:
         return 2
     start = time.perf_counter()
-    result = run_matrix(
-        quick=args.quick,
-        seed=args.seed,
-        trials=args.trials,
-        runner=runner,
-        policies=tuple(args.policy) if args.policy else None,
-        scenarios=tuple(args.scenario) if args.scenario else None,
-    )
+    try:
+        result = run_matrix(
+            quick=args.quick,
+            seed=args.seed,
+            trials=args.trials,
+            runner=runner,
+            policies=tuple(args.policy) if args.policy else None,
+            scenarios=tuple(args.scenario) if args.scenario else None,
+        )
+    except NothingToResumeError as error:
+        print(f"error: --resume: {error}", file=sys.stderr)
+        return 2
     elapsed = time.perf_counter() - start
     tables = (
         [result.summary, result.waste] if args.summary_only else result.tables()
@@ -137,6 +158,7 @@ def _cmd_matrix(args: argparse.Namespace) -> int:
 
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from repro.experiments import ALL_EXPERIMENTS
+    from repro.experiments.sweep import NothingToResumeError
 
     targets = args.names or sorted(ALL_EXPERIMENTS)
     unknown = [n for n in targets if n not in ALL_EXPERIMENTS]
@@ -149,9 +171,13 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
         return 2
     for name in targets:
         start = time.perf_counter()
-        result = ALL_EXPERIMENTS[name](
-            quick=args.quick, seed=args.seed, trials=args.trials, runner=runner
-        )
+        try:
+            result = ALL_EXPERIMENTS[name](
+                quick=args.quick, seed=args.seed, trials=args.trials, runner=runner
+            )
+        except NothingToResumeError as error:
+            print(f"error: --resume: {error}", file=sys.stderr)
+            return 2
         elapsed = time.perf_counter() - start
         print(result.format_table())
         print(f"   [{elapsed:.1f}s]")
@@ -159,48 +185,35 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
-def _positive_int(text: str) -> int:
-    value = int(text)
-    if value < 1:
-        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
-    return value
-
-
 def _sweep_flags() -> argparse.ArgumentParser:
     """Parent parser: the sweep flags every sweep-running command shares."""
+    from repro.engine.options import add_execution_arguments
+
     flags = argparse.ArgumentParser(add_help=False)
     flags.add_argument(
         "--quick", action="store_true", help="reduced CI-scale configurations"
     )
-    flags.add_argument(
-        "--trials",
-        type=_positive_int,
-        default=1,
-        metavar="N",
-        help="Monte-Carlo trials per sweep cell, simulated in vectorized "
-        "batches and averaged (default: 1)",
-    )
-    flags.add_argument(
-        "--jobs",
-        type=_positive_int,
-        default=1,
-        metavar="N",
-        help="process-pool width for sweep cells (default: 1 = inline)",
-    )
+    add_execution_arguments(flags)
     flags.add_argument(
         "--seed", type=int, default=0, help="base seed of trial 0 (default: 0)"
     )
     flags.add_argument(
         "--no-cache",
         action="store_true",
-        help="disable the on-disk sweep result cache",
+        help="disable the on-disk sweep run store",
     )
     flags.add_argument(
         "--cache-dir",
         default=None,
         metavar="PATH",
-        help="sweep cache directory (default: $REPRO_CACHE_DIR or "
+        help="sweep run-store directory (default: $REPRO_CACHE_DIR or "
         "~/.cache/repro/sweeps)",
+    )
+    flags.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume an interrupted sweep from the run store (exits 2 when "
+        "no stored run matches the current sources and parameters)",
     )
     return flags
 

@@ -1,0 +1,151 @@
+"""Executor layer: pluggable backends that evaluate shard work units.
+
+One small protocol — :class:`Executor` — behind one registry, so every
+surface that runs sweeps (``python -m repro``, ``scripts/bench_sweep.py``,
+library callers) shares a single ``--executor``/``--jobs`` vocabulary:
+
+* ``serial`` — in-process, one unit at a time.  Lazy (a generator), so an
+  interrupted run has every finished unit persisted; also the automatic
+  choice at ``jobs=1`` (no pool, easier debugging).
+* ``thread`` — a ``ThreadPoolExecutor``.  Useful when units release the
+  GIL (heavy numpy) or when process spawn cost dominates tiny grids.
+* ``process`` — a ``ProcessPoolExecutor``; the default for real
+  parallelism.  Work units must pickle (module-level cell functions).
+
+Backends yield ``(index, value)`` pairs **as units complete**, not in
+submission order — the caller persists each result immediately (crash-safe
+resume) and reassembles order itself.  Exceptions inside a unit propagate
+to the caller on arrival; the pooled backends then cancel what they can
+and shut the pool down.
+
+This module is deliberately ignorant of sweeps, shards, and stores — it
+maps a picklable function over argument tuples.  Future distributed /
+multi-host backends slot in by registering another factory here.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
+from typing import Any, Callable, Iterator, Protocol, Sequence, runtime_checkable
+
+from repro._util import check_positive_int
+
+__all__ = [
+    "Executor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "DEFAULT_EXECUTOR",
+    "available_executors",
+    "make_executor",
+]
+
+#: The backend the CLI (and :class:`~repro.engine.runner.ExecutionEngine`)
+#: selects when ``--executor`` is not given.
+DEFAULT_EXECUTOR = "process"
+
+
+@runtime_checkable
+class Executor(Protocol):
+    """What the engine schedules shards on: an unordered parallel map."""
+
+    name: str
+    jobs: int
+
+    def map_unordered(
+        self, fn: Callable[..., Any], tasks: Sequence[tuple]
+    ) -> Iterator[tuple[int, Any]]:
+        """Yield ``(task_index, fn(*tasks[task_index]))`` as tasks finish."""
+        ...
+
+
+class SerialExecutor:
+    """In-process, in-order evaluation; ``jobs`` is accepted and ignored."""
+
+    name = "serial"
+
+    def __init__(self, jobs: int = 1):
+        self.jobs = check_positive_int(jobs, "jobs")
+
+    def map_unordered(
+        self, fn: Callable[..., Any], tasks: Sequence[tuple]
+    ) -> Iterator[tuple[int, Any]]:
+        for index, args in enumerate(tasks):
+            yield index, fn(*args)
+
+
+class _PoolExecutor:
+    """Shared body of the ``concurrent.futures``-backed backends."""
+
+    name = "pool"
+    _pool_factory: Callable[..., Any] = None  # set by subclasses
+
+    def __init__(self, jobs: int):
+        self.jobs = check_positive_int(jobs, "jobs")
+
+    def map_unordered(
+        self, fn: Callable[..., Any], tasks: Sequence[tuple]
+    ) -> Iterator[tuple[int, Any]]:
+        tasks = list(tasks)
+        if not tasks:
+            return
+        workers = min(self.jobs, len(tasks))
+        with self._pool_factory(max_workers=workers) as pool:
+            index_of = {
+                pool.submit(fn, *args): index for index, args in enumerate(tasks)
+            }
+            pending = set(index_of)
+            try:
+                while pending:
+                    done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        yield index_of[future], future.result()
+            except BaseException:
+                # A failing unit (or an abandoned consumer) must not leave
+                # the rest of the queue burning CPU on soon-discarded work.
+                for future in pending:
+                    future.cancel()
+                raise
+
+
+class ThreadExecutor(_PoolExecutor):
+    """``ThreadPoolExecutor`` backend (``--executor thread``)."""
+
+    name = "thread"
+    _pool_factory = ThreadPoolExecutor
+
+
+class ProcessExecutor(_PoolExecutor):
+    """``ProcessPoolExecutor`` backend (``--executor process``, default)."""
+
+    name = "process"
+    _pool_factory = ProcessPoolExecutor
+
+
+_BACKENDS: dict[str, Callable[[int], Executor]] = {
+    "serial": SerialExecutor,
+    "thread": ThreadExecutor,
+    "process": ProcessExecutor,
+}
+
+
+def available_executors() -> tuple[str, ...]:
+    """Registered executor backend names, sorted."""
+    return tuple(sorted(_BACKENDS))
+
+
+def make_executor(name: str, jobs: int = 1) -> Executor:
+    """Build the named backend; unknown names list the registry."""
+    try:
+        factory = _BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown executor {name!r}; available: "
+            f"{', '.join(available_executors())}"
+        ) from None
+    return factory(jobs)

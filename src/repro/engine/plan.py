@@ -1,0 +1,325 @@
+"""Work-plan layer: compile a sweep grid into shard-level work units.
+
+A figure experiment is a grid of *cells* — (strategy, scenario, …) points
+— each evaluated over one or more seeded Monte-Carlo trials.
+:class:`SweepSpec` declares the grid; :func:`compile_plan` lowers it into a
+:class:`WorkPlan` of :class:`Shard` units, the granularity everything above
+the executor layer schedules, caches, and resumes at.
+
+Sharding
+--------
+A cell's trials are split into deterministic, contiguous trial ranges.
+Trial ``t`` of every cell uses the seed ``base_seed + SEED_STRIDE * t`` —
+pure stride arithmetic, independent of how trials are grouped — so a shard
+covering ``[lo, hi)`` carries exactly the seeds the monolithic cell would
+have used for those trials.  Cells evaluate trials independently (per-seed
+speed draws in, per-trial metric lists out), so concatenating shard values
+in trial order is **bitwise-equal** to a single monolithic evaluation; the
+batched simulators' own contract (trial ``t`` of a batch equals a
+single-trial run from the same seed, for any batch composition) is what
+makes the guarantee hold through the vectorized engines.
+``tests/engine/test_determinism.py`` pins it for representative policies ×
+scenarios at shard sizes {1, 7, trials}.
+
+This is what lets a single 1024-trial cell scale across cores: the shard —
+not the cell — is the unit a pool executor distributes.
+
+Cell contract
+-------------
+For a cell to be shardable, its value must be *trial-separable*: a list
+whose first axis is the trial axis, or a dict (nested arbitrarily) whose
+leaf lists all have the trial axis first.  Every built-in experiment cell
+follows this shape.  A cell that aggregates across trials itself must
+declare ``SweepSpec(shardable=False)`` and runs as one unit.
+
+Determinism of seeds
+--------------------
+The stride is deliberately the *same* across all cells of a grid, because
+the figures are paired comparisons: every strategy must face the identical
+straggler draws before ratios are taken (and trial 0 reproduces the
+single-trial seeding the original experiment modules used).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Any, Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro._util import check_positive_int
+
+__all__ = [
+    "SEED_STRIDE",
+    "DEFAULT_SHARD_TRIALS",
+    "SweepContext",
+    "SweepSpec",
+    "Shard",
+    "WorkPlan",
+    "ShardMergeError",
+    "compile_plan",
+    "default_shard_size",
+    "merge_shard_values",
+    "jsonable",
+]
+
+#: Gap between per-trial seeds; large enough that nearby base seeds do not
+#: alias each other's trial streams.
+SEED_STRIDE = 1_000_003
+
+#: Default trials per shard.  A fixed constant — not a function of the
+#: executor width — so the shard decomposition (and therefore the run
+#: store's shard keys) of a spec never depends on how many jobs happen to
+#: be available: a sweep computed at ``--jobs 4`` is warm at ``--jobs 1``.
+#: Large enough that the batched simulators keep their vectorization win,
+#: small enough that one fat cell spreads over a pool.
+DEFAULT_SHARD_TRIALS = 32
+
+
+@dataclass(frozen=True)
+class SweepContext:
+    """Everything a cell needs besides its grid point.
+
+    ``seeds`` are the per-trial seeds of the trials this context covers —
+    the whole grid's for a monolithic evaluation, a contiguous slice for a
+    shard.  ``base_seed`` is always the seed of trial 0 of the *sweep*
+    (not of the slice): cells use it for trial-independent shared work
+    (training forecasters on held-out traces), which must not vary with
+    the shard decomposition.
+    """
+
+    quick: bool
+    base_seed: int
+    seeds: tuple[int, ...]
+
+    @property
+    def trials(self) -> int:
+        return len(self.seeds)
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A declarative grid of experiment cells.
+
+    Parameters
+    ----------
+    name:
+        Sweep name (for display; cache keys do not use it).
+    cell:
+        A **module-level** function ``cell(params, ctx)`` (it must pickle
+        for the process executor) mapping one grid point plus a
+        :class:`SweepContext` to a JSON-serialisable value — typically a
+        per-trial list, or a dict of per-trial lists (see the cell
+        contract in the module docstring).
+    axes:
+        Ordered ``(axis_name, values)`` pairs; the grid is their cartesian
+        product.  A mapping is accepted and normalised.
+    trials:
+        Monte-Carlo trials per cell; seeds are derived deterministically
+        from ``base_seed``.
+    base_seed:
+        Seed of trial 0 (shared by all cells — see the pairing note in the
+        module docstring).
+    quick:
+        Passed through to cells; selects the reduced CI-scale problem
+        sizes.
+    shardable:
+        Whether the cell's value is trial-separable (the default; every
+        built-in cell is).  ``False`` forces one work unit per cell.
+    """
+
+    name: str
+    cell: Callable[[dict, "SweepContext"], Any]
+    axes: tuple[tuple[str, tuple], ...]
+    trials: int = 1
+    base_seed: int = 0
+    quick: bool = True
+    shardable: bool = True
+
+    def __post_init__(self) -> None:
+        axes = self.axes
+        if isinstance(axes, Mapping):
+            axes = tuple(axes.items())
+        axes = tuple((str(name), tuple(values)) for name, values in axes)
+        for name, values in axes:
+            if not values:
+                raise ValueError(f"axis {name!r} has no values")
+        object.__setattr__(self, "axes", axes)
+        check_positive_int(self.trials, "trials")
+
+    @property
+    def axis_names(self) -> tuple[str, ...]:
+        return tuple(name for name, _values in self.axes)
+
+    def points(self) -> list[dict]:
+        """Every grid point, in row-major axis order."""
+        names = self.axis_names
+        return [
+            dict(zip(names, combo))
+            for combo in product(*(values for _name, values in self.axes))
+        ]
+
+    def shard_context(self, lo: int, hi: int) -> SweepContext:
+        """The cell context of trials ``[lo, hi)``, seeded by stride."""
+        if not 0 <= lo < hi <= self.trials:
+            raise ValueError(
+                f"trial range [{lo}, {hi}) outside [0, {self.trials})"
+            )
+        return SweepContext(
+            quick=self.quick,
+            base_seed=self.base_seed,
+            seeds=tuple(
+                self.base_seed + SEED_STRIDE * t for t in range(lo, hi)
+            ),
+        )
+
+    def context(self) -> SweepContext:
+        """The full-grid cell context, with deterministic per-trial seeds."""
+        return self.shard_context(0, self.trials)
+
+    def key_of(self, params: dict) -> tuple:
+        """Hashable identity of a grid point (axis order)."""
+        return tuple(params[name] for name in self.axis_names)
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One schedulable work unit: a cell restricted to a trial range."""
+
+    index: int  #: position in the plan (stable, deterministic)
+    point_key: tuple  #: ``spec.key_of(params)`` of the owning cell
+    params: dict  #: the owning cell's grid point
+    lo: int  #: first trial covered (inclusive)
+    hi: int  #: last trial covered (exclusive)
+    ctx: SweepContext  #: shard-scoped context (seeds of ``[lo, hi)``)
+
+    @property
+    def trials(self) -> int:
+        return self.hi - self.lo
+
+
+@dataclass(frozen=True)
+class WorkPlan:
+    """A compiled sweep: every shard of every cell, in deterministic order.
+
+    Shards are point-major (grid order), trial-ascending within a point, so
+    ``by_point`` groups are contiguous runs of ``shards``.
+    """
+
+    spec: SweepSpec
+    shard_size: int
+    shards: tuple[Shard, ...]
+
+    def by_point(self) -> list[tuple[dict, list[Shard]]]:
+        """``(params, shards)`` per grid point, in grid order."""
+        groups: list[tuple[dict, list[Shard]]] = []
+        for shard in self.shards:
+            if groups and groups[-1][1][0].point_key == shard.point_key:
+                groups[-1][1].append(shard)
+            else:
+                groups.append((shard.params, [shard]))
+        return groups
+
+
+def default_shard_size(trials: int) -> int:
+    """The automatic shard size: everything up to the fixed stride."""
+    return min(check_positive_int(trials, "trials"), DEFAULT_SHARD_TRIALS)
+
+
+def compile_plan(spec: SweepSpec, shard_size: int | None = None) -> WorkPlan:
+    """Lower a :class:`SweepSpec` into its shard-level :class:`WorkPlan`.
+
+    ``shard_size`` overrides the trials-per-shard stride (the automatic
+    choice is :func:`default_shard_size`); a non-shardable spec always
+    compiles to one unit per cell.  The decomposition is a pure function
+    of ``(spec, shard_size)`` — never of the executor — so shard
+    identities are stable across pool widths and resumed runs.
+    """
+    if shard_size is not None:
+        check_positive_int(shard_size, "shard_size")
+    if not spec.shardable:
+        size = spec.trials
+    else:
+        size = shard_size or default_shard_size(spec.trials)
+    shards: list[Shard] = []
+    for params in spec.points():
+        point_key = spec.key_of(params)
+        for lo in range(0, spec.trials, size):
+            hi = min(spec.trials, lo + size)
+            shards.append(
+                Shard(
+                    index=len(shards),
+                    point_key=point_key,
+                    params=params,
+                    lo=lo,
+                    hi=hi,
+                    ctx=spec.shard_context(lo, hi),
+                )
+            )
+    return WorkPlan(spec=spec, shard_size=size, shards=tuple(shards))
+
+
+class ShardMergeError(ValueError):
+    """A cell's shard values are not trial-separable (see the cell contract)."""
+
+
+def merge_shard_values(
+    values: Sequence[Any], sizes: Sequence[int], cell: str = "cell"
+) -> Any:
+    """Merge per-shard cell values back into the monolithic cell value.
+
+    ``values`` are the shard results in trial order, ``sizes`` the trial
+    counts of the corresponding shards.  Lists concatenate along the trial
+    axis (validated against the shard sizes); dicts merge key-wise,
+    recursively.  A single shard passes through untouched (no shape is
+    imposed on unsharded cells).  Anything else raises
+    :class:`ShardMergeError` telling the cell author to declare
+    ``SweepSpec(shardable=False)``.
+    """
+    if len(values) != len(sizes):
+        raise ValueError(f"{len(values)} values for {len(sizes)} shards")
+    if len(values) == 1:
+        return values[0]
+    if all(isinstance(v, list) for v in values):
+        for value, size in zip(values, sizes):
+            if len(value) != size:
+                raise ShardMergeError(
+                    f"{cell}: shard of {size} trial(s) returned a list of "
+                    f"length {len(value)}; shardable cells must return "
+                    "per-trial lists (or set SweepSpec(shardable=False))"
+                )
+        return [item for value in values for item in value]
+    if all(isinstance(v, dict) for v in values):
+        keys = list(values[0])
+        for value in values[1:]:
+            if list(value) != keys:
+                raise ShardMergeError(
+                    f"{cell}: shard dicts disagree on keys "
+                    f"({sorted(values[0])} vs {sorted(value)})"
+                )
+        return {
+            key: merge_shard_values(
+                [value[key] for value in values], sizes, cell=f"{cell}[{key!r}]"
+            )
+            for key in keys
+        }
+    kinds = sorted({type(v).__name__ for v in values})
+    raise ShardMergeError(
+        f"{cell}: cannot merge shard values of type(s) {kinds}; shardable "
+        "cells must return per-trial lists or dicts of them "
+        "(or set SweepSpec(shardable=False))"
+    )
+
+
+def jsonable(value: Any) -> Any:
+    """Recursively convert numpy containers/scalars to plain JSON types."""
+    if isinstance(value, np.ndarray):
+        return [jsonable(v) for v in value.tolist()]
+    if isinstance(value, (np.floating, np.integer, np.bool_)):
+        return value.item()
+    if isinstance(value, dict):
+        return {str(k): jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonable(v) for v in value]
+    return value

@@ -1,0 +1,357 @@
+"""The execution engine: plan → store lookup → executor → merge.
+
+:class:`ExecutionEngine` is the single execution core under every
+experiment surface.  One ``run(spec)`` call:
+
+1. **compiles** the spec into shard work units
+   (:func:`repro.engine.plan.compile_plan`);
+2. **keys** every shard by content (:func:`shard_key`: cell identity, the
+   source bytes of the whole ``repro`` package, the straggler-scenario and
+   mitigation-policy registry digests, the grid point, the shard's seeds,
+   the scale flag, and the package version — any source or registry edit
+   invalidates stored results rather than silently serving numbers
+   computed by old code);
+3. **serves** already-stored shards from the
+   :class:`~repro.engine.store.RunStore` index and schedules the rest on
+   the selected :mod:`executor backend <repro.engine.executors>`,
+   appending each finished shard to the run's log as it completes;
+4. **merges** shard values back into cell values in trial order —
+   bitwise-equal to a monolithic evaluation by the work-plan layer's
+   contract — and marks the run complete.
+
+Run-scoped memos
+----------------
+Cell modules may memoise expensive shared work (trained models, shared
+sweep cells) in process memory.  Clearers registered through
+:func:`register_run_scoped_cache` are invoked whenever an engine (or a
+:class:`~repro.experiments.sweep.SweepRunner`) is constructed — the start
+of a fresh run — so those memos are scoped to a run instead of to the
+process: long-lived workers neither pin stale models in memory nor serve
+one run's entries to an unrelated later run.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import json
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable
+
+from repro import __version__
+from repro._util import check_positive_int
+from repro.engine.executors import (
+    DEFAULT_EXECUTOR,
+    SerialExecutor,
+    available_executors,
+    make_executor,
+)
+from repro.engine.plan import (
+    Shard,
+    SweepSpec,
+    WorkPlan,
+    compile_plan,
+    jsonable,
+    merge_shard_values,
+)
+from repro.engine.store import RunStore
+
+__all__ = [
+    "ExecutionEngine",
+    "EngineReport",
+    "NothingToResumeError",
+    "shard_key",
+    "run_key",
+    "package_source_digest",
+    "register_run_scoped_cache",
+    "clear_run_scoped_caches",
+]
+
+
+#: Clearers of in-process memos that must not outlive a sweep run — see
+#: :func:`register_run_scoped_cache`.
+_RUN_SCOPED_CACHE_CLEARERS: list[Callable[[], None]] = []
+
+
+def register_run_scoped_cache(clearer: Callable[[], None]):
+    """Register ``clearer()`` to drop an in-process memo at run boundaries.
+
+    Usable as a decorator (returns ``clearer`` unchanged); see the module
+    docstring for the lifecycle.
+    """
+    _RUN_SCOPED_CACHE_CLEARERS.append(clearer)
+    return clearer
+
+
+def clear_run_scoped_caches() -> None:
+    """Drop every registered run-scoped memo (see above)."""
+    for clearer in _RUN_SCOPED_CACHE_CLEARERS:
+        clearer()
+
+
+class NothingToResumeError(RuntimeError):
+    """``resume=True`` found no stored run for the spec (the CLI exits 2)."""
+
+
+@functools.lru_cache(maxsize=1)
+def package_source_digest() -> str:
+    """Hash of every ``repro`` source file (the cache invalidation unit).
+
+    A cell's value depends on the simulators, schedulers, and predictors
+    it calls into, so shard keys must cover the whole package: editing
+    *any* library module invalidates stored results rather than silently
+    serving numbers computed by the old code.
+    """
+    package_root = Path(sys.modules["repro"].__file__).parent
+    digest = hashlib.sha256()
+    for path in sorted(package_root.rglob("*.py")):
+        digest.update(str(path.relative_to(package_root)).encode())
+        digest.update(path.read_bytes())
+    return digest.hexdigest()
+
+
+def _content_digests() -> dict[str, str]:
+    """Every content digest a shard key folds in.
+
+    The registry digests are imported lazily (and not lru-cached like the
+    package digest): both registries can gain entries at runtime, and a
+    cell resolving a scenario or policy by name must never hit a stored
+    shard computed under a different registry.
+    """
+    from repro.cluster.scenarios import registry_digest
+    from repro.scheduling.policies import (
+        registry_digest as policy_registry_digest,
+    )
+
+    return {
+        "source": package_source_digest(),
+        "scenarios": registry_digest(),
+        "policies": policy_registry_digest(),
+        "version": __version__,
+    }
+
+
+def _digest_of(identity: dict) -> str:
+    blob = json.dumps(identity, sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+def _cell_id(spec: SweepSpec) -> str:
+    return f"{spec.cell.__module__}.{spec.cell.__qualname__}"
+
+
+def shard_key(
+    spec: SweepSpec, shard: Shard, digests: dict[str, str] | None = None
+) -> str:
+    """Content hash addressing one shard's stored value.
+
+    Uses the same identity fields for a whole-cell shard as the retired
+    per-cell cache used for a cell, so the invalidation semantics carry
+    over unchanged — plus the shard's own seed slice.  ``digests`` lets a
+    caller hashing many shards compute :func:`_content_digests` once.
+    """
+    identity = {
+        "cell": _cell_id(spec),
+        **(digests if digests is not None else _content_digests()),
+        "params": jsonable(shard.params),
+        "seeds": list(shard.ctx.seeds),
+        "quick": shard.ctx.quick,
+    }
+    return _digest_of(identity)
+
+
+def run_key(
+    spec: SweepSpec, plan: WorkPlan, digests: dict[str, str] | None = None
+) -> str:
+    """Content hash identifying one run (spec × digests × shard plan)."""
+    identity = {
+        "kind": "run",
+        "cell": _cell_id(spec),
+        **(digests if digests is not None else _content_digests()),
+        "axes": jsonable(spec.axes),
+        "trials": spec.trials,
+        "base_seed": spec.base_seed,
+        "quick": spec.quick,
+        "shard_size": plan.shard_size,
+    }
+    return _digest_of(identity)
+
+
+def _run_shard(cell, params: dict, ctx) -> Any:
+    """Executor entry point (module-level so it pickles)."""
+    return jsonable(cell(params, ctx))
+
+
+@dataclass
+class EngineReport:
+    """What one engine run produced, plus its scheduling accounting."""
+
+    spec: SweepSpec
+    values: dict[tuple, Any]  #: merged cell values by grid-point key
+    shard_hits: int  #: shards served from the run store
+    shards_total: int
+    run_key: str | None = None  #: ``None`` when no store was attached
+    resumed: bool = False  #: an incomplete stored run was picked up
+
+
+class ExecutionEngine:
+    """Executes sweep specs on a pluggable executor over a run store.
+
+    Parameters
+    ----------
+    jobs:
+        Executor width; ``1`` always evaluates inline (serial backend).
+    executor:
+        Backend name (see
+        :func:`repro.engine.executors.available_executors`); default
+        ``process``.
+    store:
+        The :class:`~repro.engine.store.RunStore` to serve and persist
+        shards through, or ``None`` to compute everything in memory (the
+        library default — the CLI opts in with the user's cache dir).
+    shard_size:
+        Trials per shard; ``None`` selects the automatic stride
+        (:func:`repro.engine.plan.default_shard_size`).
+    resume:
+        Pick interrupted stored runs up where they stopped.  The
+        engine's *first* spec must have a stored run
+        (:class:`NothingToResumeError` otherwise — the guard against a
+        wrong store or edited sources); later specs with nothing stored
+        are the uninterrupted tail of a multi-spec command and start
+        fresh.  Needs a ``store``.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        executor: str | None = None,
+        store: RunStore | None = None,
+        shard_size: int | None = None,
+        resume: bool = False,
+    ):
+        self.jobs = check_positive_int(jobs, "jobs")
+        name = executor or DEFAULT_EXECUTOR
+        if name not in available_executors():
+            raise ValueError(
+                f"unknown executor {name!r}; available: "
+                f"{', '.join(available_executors())}"
+            )
+        self.executor_name = name
+        if shard_size is not None:
+            check_positive_int(shard_size, "shard_size")
+        self.shard_size = shard_size
+        if resume and store is None:
+            raise ValueError(
+                "resume requires a run store (a cache directory); it cannot "
+                "be combined with caching disabled"
+            )
+        self.store = store
+        self.resume = resume
+        # Resume strictness is checked on the engine's *first* spec only:
+        # a multi-figure command interrupted at figure N has no stored runs
+        # for figures N+1.. — those are exactly the tail the resume must
+        # compute fresh, while a first spec with nothing stored means the
+        # command (or its sources) never ran and deserves a loud error.
+        self._resume_checked = False
+        # A new engine marks the start of a new sweep run: in-process memos
+        # from earlier runs (trained models, shared cells) are dropped so
+        # they stay scoped to one run rather than to the worker process.
+        clear_run_scoped_caches()
+
+    def _executor(self, pending: int):
+        if self.jobs == 1 or pending <= 1:
+            return SerialExecutor()
+        return make_executor(self.executor_name, self.jobs)
+
+    def run(self, spec: SweepSpec) -> EngineReport:
+        """Evaluate every cell of ``spec`` (store first, then executor)."""
+        plan = compile_plan(spec, self.shard_size)
+        shards = plan.shards
+        values: dict[int, Any] = {}
+        keys: list[str] | None = None
+        hits = 0
+        handle = None
+        rk = None
+        resumed = False
+        if self.store is not None:
+            # One digest pass per run: the registries cannot change while a
+            # plan is being keyed, and without a store keys are never used.
+            digests = _content_digests()
+            keys = [shard_key(spec, shard, digests) for shard in shards]
+            rk = run_key(spec, plan, digests)
+            manifest = self.store.manifest_of(rk)
+            if self.resume and manifest is None and not self._resume_checked:
+                raise NothingToResumeError(
+                    f"nothing to resume for sweep {spec.name!r}: no stored "
+                    f"run in {self.store.root} matches the current sources "
+                    "and parameters (a source edit re-keys every shard; "
+                    "start the sweep once without --resume)"
+                )
+            self._resume_checked = True
+            resumed = manifest is not None and not manifest.get("complete")
+            index = self.store.shard_index(
+                keys=set(keys), match={"cell": _cell_id(spec), **digests}
+            )
+            for i, key in enumerate(keys):
+                if key in index:
+                    values[i] = index[key]
+                    hits += 1
+            handle = self.store.open_run(
+                rk,
+                {
+                    "run_key": rk,
+                    "sweep": spec.name,
+                    "cell": _cell_id(spec),
+                    **digests,
+                    "axes": jsonable(spec.axes),
+                    "trials": spec.trials,
+                    "base_seed": spec.base_seed,
+                    "quick": spec.quick,
+                    "shard_size": plan.shard_size,
+                    "n_shards": len(shards),
+                    "created": time.time(),
+                },
+            )
+        pending = [i for i in range(len(shards)) if i not in values]
+        if pending:
+            executor = self._executor(len(pending))
+            tasks = [
+                (spec.cell, shards[i].params, shards[i].ctx) for i in pending
+            ]
+            for local_index, value in executor.map_unordered(_run_shard, tasks):
+                i = pending[local_index]
+                values[i] = value
+                if handle is not None:
+                    handle.append(
+                        {
+                            "key": keys[i],
+                            "sweep": spec.name,
+                            "point": jsonable(shards[i].params),
+                            "lo": shards[i].lo,
+                            "hi": shards[i].hi,
+                            "value": value,
+                        }
+                    )
+        merged: dict[tuple, Any] = {}
+        for params, cell_shards in plan.by_point():
+            merged[spec.key_of(params)] = merge_shard_values(
+                [values[s.index] for s in cell_shards],
+                [s.trials for s in cell_shards],
+                cell=f"{spec.name}:{_cell_id(spec)}",
+            )
+        # Completion is claimed only after every shard merged: a cell that
+        # turns out not to be trial-separable must not leave behind a run
+        # marked complete whose stored shards can never be assembled.
+        if handle is not None:
+            handle.mark_complete()
+        return EngineReport(
+            spec=spec,
+            values=merged,
+            shard_hits=hits,
+            shards_total=len(shards),
+            run_key=rk,
+            resumed=resumed,
+        )

@@ -1,0 +1,252 @@
+"""Run-store layer: append-only, crash-safe persistence of sweep shards.
+
+Replaces the one-file-per-cell JSON cache with a structure that can
+describe *runs in flight*, not just finished cells:
+
+```
+<store root>/
+  runs/<run_key>/manifest.json   # the run: spec identity, digests, shard plan
+  runs/<run_key>/shards.jsonl    # append-only log, one record per finished shard
+```
+
+* **Per-run manifest** — written atomically when a run opens (``complete:
+  false``) and rewritten when every shard is in (``complete: true``), so
+  an interrupted sweep is recognisable and ``--resume`` can report
+  progress.  The manifest carries the spec identity and the content
+  digests the shard keys were computed under.
+* **Append-only shard records** — every finished shard is appended to
+  ``shards.jsonl`` *immediately* as one JSON line (a single ``write`` on
+  an ``O_APPEND`` descriptor), so a killed process loses at most the
+  in-flight shards.  Readers tolerate a torn final line (it is simply
+  recomputed), which is the whole crash-safety story: no locks, no
+  write-ahead protocol, just an idempotent log keyed by content.
+* **Content-keyed lookup** — records are addressed by their shard key
+  (cell identity + package/registry digests + params + seeds + scale — see
+  :func:`repro.engine.runner.shard_key`), so the index is valid across
+  runs: figures that share a cell (the cloud suite) deduplicate through
+  the store, a sweep grown from 64 to 96 trials reuses its aligned
+  shards, and *any* source or registry edit changes the keys and cleanly
+  misses — the same correctness-over-incrementality contract the old cell
+  cache had.
+
+``--resume`` resolves the interrupted run's manifest by run key and picks
+up exactly the missing shards; because shard records are content-keyed
+and merge order is deterministic, a killed-then-resumed sweep is
+**identical** to an uninterrupted one
+(``tests/engine/test_determinism.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+from pathlib import Path
+from typing import Any, Collection, Iterator, Mapping
+
+__all__ = [
+    "RunStore",
+    "RunHandle",
+    "default_cache_dir",
+]
+
+
+def default_cache_dir() -> Path:
+    """Store root: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro/sweeps``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro" / "sweeps"
+
+
+def _write_json_atomic(path: Path, payload: dict) -> None:
+    """Writer-private temp file + atomic rename (no partial JSON visible)."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    handle, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    with os.fdopen(handle, "w") as tmp_file:
+        json.dump(payload, tmp_file)
+    Path(tmp_name).replace(path)
+
+
+def _read_json(path: Path) -> dict | None:
+    try:
+        with open(path) as handle:
+            value = json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        return None
+    return value if isinstance(value, dict) else None
+
+
+class RunHandle:
+    """One open run: the append point for finished shard records."""
+
+    def __init__(self, path: Path):
+        self.path = path
+        self.shards_path = path / "shards.jsonl"
+
+    @property
+    def run_key(self) -> str:
+        return self.path.name
+
+    def append(self, record: dict) -> None:
+        """Append one shard record as a single ``O_APPEND`` write.
+
+        One ``os.write`` per record keeps concurrent sweeps appending to
+        the same run from interleaving *within* a line on ordinary local
+        filesystems; a duplicate record (two processes computing the same
+        shard) is harmless — lookups take the first occurrence and the
+        payloads are equal by determinism.  A torn tail left by a killed
+        writer (a partial line with no trailing newline) is sealed off
+        with a newline first, so the new record never concatenates onto
+        it — the torn line stays unreadable (and its shard recomputed
+        once), while everything after it parses normally.
+        """
+        line = json.dumps(record) + "\n"
+        fd = os.open(
+            self.shards_path, os.O_RDWR | os.O_CREAT | os.O_APPEND, 0o644
+        )
+        try:
+            size = os.fstat(fd).st_size
+            if size and os.pread(fd, 1, size - 1) != b"\n":
+                line = "\n" + line
+            os.write(fd, line.encode())
+        finally:
+            os.close(fd)
+
+    def records(self) -> list[dict]:
+        """Every well-formed shard record, in append order (torn tail skipped)."""
+        out: list[dict] = []
+        try:
+            with open(self.shards_path) as handle:
+                for line in handle:
+                    try:
+                        record = json.loads(line)
+                    except json.JSONDecodeError:
+                        continue  # torn write from a killed process
+                    if isinstance(record, dict) and "key" in record:
+                        out.append(record)
+        except OSError:
+            pass
+        return out
+
+    def manifest(self) -> dict | None:
+        return _read_json(self.path / "manifest.json")
+
+    def write_manifest(self, manifest: dict) -> None:
+        _write_json_atomic(self.path / "manifest.json", manifest)
+
+    def mark_complete(self) -> None:
+        """Flip the manifest to ``complete: true`` (atomic rewrite)."""
+        manifest = self.manifest() or {}
+        manifest["complete"] = True
+        self.write_manifest(manifest)
+
+
+class RunStore:
+    """The on-disk store of sweep runs under one root directory.
+
+    The root is created lazily on the first write; a missing or empty
+    store simply has nothing to serve.  ``RunStore(root)`` is cheap —
+    scanning happens in :meth:`shard_index`, once per sweep execution.
+    """
+
+    def __init__(self, root: Path | str):
+        self.root = Path(root)
+        self.runs_dir = self.root / "runs"
+
+    def run_keys(self) -> list[str]:
+        """Every stored run key, sorted (deterministic scan order)."""
+        try:
+            return sorted(p.name for p in self.runs_dir.iterdir() if p.is_dir())
+        except OSError:
+            return []
+
+    def handle(self, run_key: str) -> RunHandle:
+        return RunHandle(self.runs_dir / run_key)
+
+    def manifest_of(self, run_key: str) -> dict | None:
+        """The named run's manifest, or ``None`` if it never opened."""
+        return self.handle(run_key).manifest()
+
+    def open_run(self, run_key: str, manifest: dict) -> RunHandle:
+        """Open (or re-open) a run directory, persisting its manifest.
+
+        A fresh run writes ``manifest`` with ``complete: false``; an
+        existing directory keeps its manifest — the run key already pins
+        the identity, and re-opening is exactly the resume path.
+        """
+        handle = self.handle(run_key)
+        handle.path.mkdir(parents=True, exist_ok=True)
+        if handle.manifest() is None:
+            handle.write_manifest({**manifest, "complete": False})
+        return handle
+
+    def iter_records(self) -> Iterator[dict]:
+        """Every shard record of every run (deterministic run order)."""
+        for run_key in self.run_keys():
+            yield from self.handle(run_key).records()
+
+    def _manifest_matches(self, run_key: str, match: Mapping[str, str]) -> bool:
+        manifest = self.manifest_of(run_key) or {}
+        return all(manifest.get(name) == value for name, value in match.items())
+
+    def shard_index(
+        self,
+        keys: Collection[str] | None = None,
+        match: Mapping[str, str] | None = None,
+    ) -> dict[str, Any]:
+        """Content-keyed lookup table: shard key → stored value.
+
+        ``keys`` restricts the index to the shard keys a caller actually
+        needs (everything else is parsed and dropped line by line instead
+        of accumulating in memory); ``match`` skips whole runs whose
+        manifest disagrees on any of the given fields — the engine passes
+        its cell identity and content digests, so only runs that could
+        possibly serve a current key have their logs read at all (shard
+        keys hash the cell id and the digests, so the filter loses
+        nothing, including the cross-figure dedup of specs sharing a cell
+        function).  First occurrence of a key wins (duplicates are
+        bitwise-equal by determinism, so the choice is cosmetic).
+        """
+        index: dict[str, Any] = {}
+        for run_key in self.run_keys():
+            if match is not None and not self._manifest_matches(run_key, match):
+                continue
+            for record in self.handle(run_key).records():
+                key = record["key"]
+                if keys is not None and key not in keys:
+                    continue
+                index.setdefault(key, record.get("value"))
+        return index
+
+    def shard_count(self) -> int:
+        """Total stored shard records (the tests' cache-size probe)."""
+        return sum(1 for _record in self.iter_records())
+
+    def prune_stale(self, digests: Mapping[str, str]) -> int:
+        """Delete runs whose manifest digests differ from ``digests``.
+
+        Maintenance API (deliberately **not** invoked automatically): a
+        run recorded under other digests cannot serve the *current* code,
+        but registries legitimately toggle at runtime — user registrations
+        come and go within one process, and their runs must hit again when
+        the registry returns — so only the store owner knows when a run is
+        truly dead.  Call with the current digests (see
+        ``repro.engine.runner._content_digests``) to reclaim space after
+        permanent source edits; the per-sweep scan already skips
+        non-matching runs without reading their logs.  Runs with no
+        readable manifest are left alone (conservative).  Returns the
+        number of runs removed.
+        """
+        removed = 0
+        for run_key in self.run_keys():
+            manifest = self.manifest_of(run_key)
+            if manifest is None:
+                continue
+            if all(name in manifest for name in digests) and not all(
+                manifest.get(name) == value for name, value in digests.items()
+            ):
+                shutil.rmtree(self.runs_dir / run_key, ignore_errors=True)
+                removed += 1
+        return removed

@@ -64,6 +64,12 @@ def strategy_labels() -> list[str]:
 #: Module-level ``lru_cache``\ s here used to outlive the sweep: entries
 #: persisted for the life of the worker process across unrelated runs and
 #: pinned trained LSTMs in memory indefinitely.
+#:
+#: Under trial-sharded execution the memo also bounds duplicate training:
+#: pool workers persist across all shards of a run, so a cell split into
+#: many shards trains its shared LSTM at most once per worker process
+#: (``min(jobs, shards)`` times), not once per shard — the per-trial
+#: simulation is what actually spreads over the pool.
 _LSTM_MEMO: dict[tuple, LSTMSpeedModel] = {}
 _CELL_MEMO: dict[tuple, dict] = {}
 

@@ -28,7 +28,7 @@ from repro.prediction.predictor import (
     OraclePredictor,
     StackedPredictor,
 )
-from repro.runtime.batch import BatchCodedRunner
+from repro.runtime.batch import build_batch_runner
 from repro.runtime.session import ReplicationSession
 
 __all__ = ["run", "main", "STRATEGIES"]
@@ -72,9 +72,10 @@ def _cell(params: dict, ctx: SweepContext) -> list[float]:
             totals.append(session.metrics.total_time)
         return totals
     policy = _coded_policy(strategy)  # same strategy set as Fig 6
-    batch = BatchCodedRunner(
-        speed_model=StackedSpeeds([_speeds(s, seed) for seed in ctx.seeds]),
-        predictor=StackedPredictor(
+    batch = build_batch_runner(
+        "coded",
+        StackedSpeeds([_speeds(s, seed) for seed in ctx.seeds]),
+        StackedPredictor(
             [OraclePredictor(speed_model=_speeds(s, seed)) for seed in ctx.seeds]
         ),
         network=controlled_network(),

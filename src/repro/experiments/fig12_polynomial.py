@@ -27,7 +27,7 @@ from repro.experiments.harness import (
 from repro.experiments.sweep import SweepContext, SweepRunner, SweepSpec
 from repro.prediction.predictor import StackedPredictor, StalePredictor
 from repro.prediction.traces import BURSTY, STABLE, generate_speed_traces
-from repro.runtime.batch import BatchCodedRunner
+from repro.runtime.batch import build_batch_runner
 from repro.scheduling.policies import build_policy
 
 __all__ = ["run", "main"]
@@ -57,9 +57,10 @@ def _cell(params: dict, ctx: SweepContext) -> list[float]:
         generate_speed_traces(N_WORKERS, iterations + 2, config, seed=seed)
         for seed in ctx.seeds
     ]
-    runner = BatchCodedRunner(
-        speed_model=BatchTraceSpeeds.from_traces(traces),
-        predictor=StackedPredictor(
+    runner = build_batch_runner(
+        "coded",
+        BatchTraceSpeeds.from_traces(traces),
+        StackedPredictor(
             [
                 StalePredictor(
                     speed_model=TraceSpeeds(traces[t]), miss_rate=miss, seed=seed

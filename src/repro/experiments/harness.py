@@ -16,11 +16,7 @@ import numpy as np
 from repro.cluster.network import CostModel, NetworkModel
 from repro.cluster.speed_models import BatchSpeedModel, SpeedModel
 from repro.prediction.predictor import BatchPredictor, OnlinePredictor
-from repro.runtime.batch import (
-    BatchCodedRunner,
-    BatchOverDecompositionRunner,
-    BatchRunMetrics,
-)
+from repro.runtime.batch import BatchRunMetrics, build_batch_runner
 from repro.runtime.session import (
     CodedSession,
     OverDecompositionSession,
@@ -182,9 +178,10 @@ def run_coded_lr_like_batch(
     only on plans and speeds.  Trial ``t`` reproduces a single-trial
     session seeded the same way, bit for bit.
     """
-    runner = BatchCodedRunner(
-        speed_model=speed_model,
-        predictor=predictor,
+    runner = build_batch_runner(
+        "coded",
+        speed_model,
+        predictor,
         network=controlled_network(),
         cost=controlled_cost(),
         timeout=timeout,
@@ -235,9 +232,10 @@ def run_overdecomposition_lr_like_batch(
     geometry over-decomposed into ``factor × n`` partitions.  Trial ``t``
     reproduces a single-trial session seeded the same way, bit for bit.
     """
-    runner = BatchOverDecompositionRunner(
-        speed_model=speed_model,
-        predictor=predictor,
+    runner = build_batch_runner(
+        "overdecomposition",
+        speed_model,
+        predictor,
         network=controlled_network(),
         cost=controlled_cost(),
         factor=factor,

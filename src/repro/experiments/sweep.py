@@ -1,12 +1,22 @@
-"""Declarative experiment sweeps: grids × trials, run in parallel, cached.
+"""Declarative experiment sweeps, executed on the unified engine.
 
 Every figure experiment is a grid of *cells* — (strategy, scenario, …)
 points — each evaluated over one or more seeded Monte-Carlo trials.
-:class:`SweepSpec` declares the grid; :class:`SweepRunner` executes it with
-a ``concurrent.futures`` process pool and an on-disk, content-hash-keyed
-result cache, so re-runs are incremental and ``--jobs N`` parallelises
-across cells while the batched simulators vectorise across trials *within*
-a cell.
+:class:`SweepSpec` declares the grid; :class:`SweepRunner` executes it on
+the :mod:`repro.engine` execution core:
+
+* the **work-plan layer** splits each cell's trials into deterministic,
+  seed-strided shards, so a single fat cell scales across cores instead of
+  pinning one (shard merges are bitwise-equal to monolithic cells — see
+  :mod:`repro.engine.plan`);
+* the **executor layer** schedules shards on a pluggable ``serial`` /
+  ``thread`` / ``process`` backend (``--executor`` / ``--jobs``), while
+  the batched simulators vectorise across trials *within* a shard;
+* the **run-store layer** persists every finished shard to an append-only,
+  crash-safe store keyed by content hash (package source + scenario and
+  policy registry digests + cell parameters + seeds), so re-runs are
+  incremental, figures that share a cell deduplicate, and an interrupted
+  sweep resumes exactly where it stopped (``--resume``).
 
 Determinism
 -----------
@@ -16,42 +26,34 @@ figures are paired comparisons: every strategy must face the identical
 straggler draws before ratios are taken (and trial 0 reproduces the
 single-trial seeding the original experiment modules used).
 
-Caching
--------
-A cell's key hashes the cell function's identity, *the source bytes of the
-whole ``repro`` package* (a cell's value depends on the simulators and
-schedulers it calls into, not just its own module), the straggler-scenario
-and mitigation-policy registry contents (cells resolve scenarios and
-policies by name, and both may be registered at runtime from outside the
-package tree — see :func:`repro.cluster.scenarios.registry_digest` and
-:func:`repro.scheduling.policies.registry_digest`), the cell parameters,
-the seeds, the quick flag, and the package version.  Any source edit or
-registry change therefore invalidates the cache — correctness over
-incrementality; the incremental wins come from re-runs and grown grids
-with unchanged code.
-Values are stored as JSON (one file per cell), so cells must return
-JSON-serialisable structures — floats, lists, dicts; numpy scalars and
-arrays are converted on the way in.
+Cells must return JSON-serialisable, trial-separable structures —
+per-trial lists, or dicts of them; numpy scalars and arrays are converted
+on the way in (see the cell contract in :mod:`repro.engine.plan`).
+
+This module remains the stable import surface of the sweep vocabulary
+(``SweepSpec``/``SweepContext``/``SEED_STRIDE``/run-scoped caches now live
+in the engine and are re-exported here unchanged).
 """
 
 from __future__ import annotations
 
-import functools
-import hashlib
-import json
-import os
-import sys
-import tempfile
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
-from itertools import product
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Callable, Mapping, Sequence
+from typing import Any
 
-import numpy as np
-
-from repro import __version__
 from repro._util import check_positive_int
+from repro.engine import (
+    SEED_STRIDE,
+    ExecutionEngine,
+    NothingToResumeError,
+    RunStore,
+    SweepContext,
+    SweepSpec,
+    clear_run_scoped_caches,
+    default_cache_dir,
+    jsonable as _jsonable,
+    register_run_scoped_cache,
+)
 
 __all__ = [
     "SEED_STRIDE",
@@ -59,126 +61,11 @@ __all__ = [
     "SweepSpec",
     "SweepResult",
     "SweepRunner",
+    "NothingToResumeError",
     "default_cache_dir",
     "register_run_scoped_cache",
     "clear_run_scoped_caches",
 ]
-
-#: Gap between per-trial seeds; large enough that nearby base seeds do not
-#: alias each other's trial streams.
-SEED_STRIDE = 1_000_003
-
-
-#: Clearers of in-process memos that must not outlive a sweep run — see
-#: :func:`register_run_scoped_cache`.
-_RUN_SCOPED_CACHE_CLEARERS: list[Callable[[], None]] = []
-
-
-def register_run_scoped_cache(clearer: Callable[[], None]):
-    """Register ``clearer()`` to drop an in-process memo at run boundaries.
-
-    Cell modules may memoise expensive shared work (trained models, shared
-    sweep cells) in process memory so that figures reading the same cell
-    within one sweep run don't recompute it.  Registered clearers are
-    invoked whenever a new :class:`SweepRunner` is constructed — the start
-    of a fresh run — so those memos are scoped to a run instead of to the
-    process: long-lived workers neither pin stale models in memory nor
-    serve one run's entries to an unrelated later run.  Usable as a
-    decorator (returns ``clearer`` unchanged).
-    """
-    _RUN_SCOPED_CACHE_CLEARERS.append(clearer)
-    return clearer
-
-
-def clear_run_scoped_caches() -> None:
-    """Drop every registered run-scoped memo (see above)."""
-    for clearer in _RUN_SCOPED_CACHE_CLEARERS:
-        clearer()
-
-
-@dataclass(frozen=True)
-class SweepContext:
-    """Everything a cell needs besides its grid point."""
-
-    quick: bool
-    base_seed: int
-    seeds: tuple[int, ...]
-
-    @property
-    def trials(self) -> int:
-        return len(self.seeds)
-
-
-@dataclass(frozen=True)
-class SweepSpec:
-    """A declarative grid of experiment cells.
-
-    Parameters
-    ----------
-    name:
-        Sweep name (for display; the cache key does not use it).
-    cell:
-        A **module-level** function ``cell(params, ctx)`` (it must pickle
-        for the process pool) mapping one grid point plus a
-        :class:`SweepContext` to a JSON-serialisable value — typically a
-        per-trial list, or a dict of per-trial lists.
-    axes:
-        Ordered ``(axis_name, values)`` pairs; the grid is their cartesian
-        product.  A mapping is accepted and normalised.
-    trials:
-        Monte-Carlo trials per cell; seeds are derived deterministically
-        from ``base_seed``.
-    base_seed:
-        Seed of trial 0 (shared by all cells — see the pairing note in the
-        module docstring).
-    quick:
-        Passed through to cells; selects the reduced CI-scale problem
-        sizes.
-    """
-
-    name: str
-    cell: Callable[[dict, SweepContext], Any]
-    axes: tuple[tuple[str, tuple], ...]
-    trials: int = 1
-    base_seed: int = 0
-    quick: bool = True
-
-    def __post_init__(self) -> None:
-        axes = self.axes
-        if isinstance(axes, Mapping):
-            axes = tuple(axes.items())
-        axes = tuple((str(name), tuple(values)) for name, values in axes)
-        for name, values in axes:
-            if not values:
-                raise ValueError(f"axis {name!r} has no values")
-        object.__setattr__(self, "axes", axes)
-        check_positive_int(self.trials, "trials")
-
-    @property
-    def axis_names(self) -> tuple[str, ...]:
-        return tuple(name for name, _values in self.axes)
-
-    def points(self) -> list[dict]:
-        """Every grid point, in row-major axis order."""
-        names = self.axis_names
-        return [
-            dict(zip(names, combo))
-            for combo in product(*(values for _name, values in self.axes))
-        ]
-
-    def context(self) -> SweepContext:
-        """The shared cell context, with deterministic per-trial seeds."""
-        return SweepContext(
-            quick=self.quick,
-            base_seed=self.base_seed,
-            seeds=tuple(
-                self.base_seed + SEED_STRIDE * t for t in range(self.trials)
-            ),
-        )
-
-    def key_of(self, params: dict) -> tuple:
-        """Hashable identity of a grid point (axis order)."""
-        return tuple(params[name] for name in self.axis_names)
 
 
 @dataclass
@@ -187,7 +74,8 @@ class SweepResult:
 
     spec: SweepSpec
     values: dict[tuple, Any]
-    cache_hits: int = 0
+    cache_hits: int = 0  #: shard work units served from the run store
+    resumed: bool = False  #: an interrupted stored run was picked up
 
     def get(self, **params) -> Any:
         """Value of the cell at the given grid point."""
@@ -201,65 +89,38 @@ class SweepResult:
         return self.spec.points()
 
 
-def default_cache_dir() -> Path:
-    """Cache root: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro/sweeps``."""
-    env = os.environ.get("REPRO_CACHE_DIR")
-    if env:
-        return Path(env)
-    return Path.home() / ".cache" / "repro" / "sweeps"
-
-
-def _jsonable(value: Any) -> Any:
-    """Recursively convert numpy containers/scalars to plain JSON types."""
-    if isinstance(value, np.ndarray):
-        return [_jsonable(v) for v in value.tolist()]
-    if isinstance(value, (np.floating, np.integer, np.bool_)):
-        return value.item()
-    if isinstance(value, dict):
-        return {str(k): _jsonable(v) for k, v in value.items()}
-    if isinstance(value, (list, tuple)):
-        return [_jsonable(v) for v in value]
-    return value
-
-
-@functools.lru_cache(maxsize=1)
-def _package_source_digest() -> str:
-    """Hash of every ``repro`` source file (the cache invalidation unit).
-
-    A cell's value depends on the simulators, schedulers, and predictors
-    it calls into, so the key must cover the whole package: editing *any*
-    library module invalidates cached results rather than silently
-    serving numbers computed by the old code.
-    """
-    package_root = Path(sys.modules["repro"].__file__).parent
-    digest = hashlib.sha256()
-    for path in sorted(package_root.rglob("*.py")):
-        digest.update(str(path.relative_to(package_root)).encode())
-        digest.update(path.read_bytes())
-    return digest.hexdigest()
-
-
-def _run_cell(
-    cell: Callable[[dict, SweepContext], Any], params: dict, ctx: SweepContext
-) -> Any:
-    """Pool entry point (module-level so it pickles)."""
-    return _jsonable(cell(params, ctx))
-
-
 class SweepRunner:
-    """Executes :class:`SweepSpec` grids with parallelism and caching.
+    """Executes :class:`SweepSpec` grids on the unified execution engine.
 
     Parameters
     ----------
     jobs:
-        Process-pool width; ``1`` runs cells inline (no pool, easier
+        Executor width; ``1`` runs shards inline (no pool, easier
         debugging).
     cache_dir:
-        Directory for the on-disk cell cache; ``None`` disables caching
+        Root of the on-disk run store; ``None`` disables persistence
         (the library default — the CLI opts in with the user's cache dir).
+    executor:
+        Executor backend name (``serial`` / ``thread`` / ``process``);
+        default ``process``.  Only consulted when ``jobs > 1``.
+    shard_size:
+        Trials per shard work unit; ``None`` selects the automatic stride.
+    resume:
+        Pick interrupted stored runs up exactly where they stopped.
+        :class:`NothingToResumeError` when the runner's first sweep has
+        no stored run matching the current sources and parameters; later
+        sweeps run by the same runner (the tail of a multi-figure
+        command, never started before the interruption) start fresh.
     """
 
-    def __init__(self, jobs: int = 1, cache_dir: Path | str | None = None):
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache_dir: Path | str | None = None,
+        executor: str | None = None,
+        shard_size: int | None = None,
+        resume: bool = False,
+    ):
         check_positive_int(jobs, "jobs")
         self.jobs = jobs
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
@@ -268,91 +129,27 @@ class SweepRunner:
                 raise ValueError(
                     f"cache_dir {self.cache_dir} exists and is not a directory"
                 )
-        # A new runner marks the start of a new sweep run: in-process memos
-        # from earlier runs (trained models, shared cells) are dropped so
-        # they stay scoped to one run rather than to the worker process.
-        clear_run_scoped_caches()
-
-    def _cell_key(self, spec: SweepSpec, params: dict, ctx: SweepContext) -> str:
-        # Imported lazily (and not lru-cached like the package digest):
-        # both registries can gain entries at runtime, and a cell resolving
-        # a scenario or policy by name must never hit a cache entry
-        # computed under a different registry.
-        from repro.cluster.scenarios import registry_digest
-        from repro.scheduling.policies import (
-            registry_digest as policy_registry_digest,
+        store = RunStore(self.cache_dir) if self.cache_dir is not None else None
+        # Engine construction marks the start of a new sweep run and drops
+        # run-scoped in-process memos (trained models, shared cells).
+        self._engine = ExecutionEngine(
+            jobs=jobs,
+            executor=executor,
+            store=store,
+            shard_size=shard_size,
+            resume=resume,
         )
 
-        identity = {
-            "cell": f"{spec.cell.__module__}.{spec.cell.__qualname__}",
-            "source": _package_source_digest(),
-            "scenarios": registry_digest(),
-            "policies": policy_registry_digest(),
-            "params": _jsonable(params),
-            "seeds": list(ctx.seeds),
-            "quick": ctx.quick,
-            "version": __version__,
-        }
-        blob = json.dumps(identity, sort_keys=True).encode()
-        return hashlib.sha256(blob).hexdigest()
-
-    def _cache_path(self, key: str) -> Path:
-        assert self.cache_dir is not None
-        return self.cache_dir / f"{key}.json"
-
-    def _cache_load(self, key: str) -> tuple[bool, Any]:
-        if self.cache_dir is None:
-            return False, None
-        path = self._cache_path(key)
-        try:
-            with open(path) as handle:
-                return True, json.load(handle)["value"]
-        except (OSError, json.JSONDecodeError, KeyError):
-            return False, None
-
-    def _cache_store(self, key: str, params: dict, value: Any) -> None:
-        if self.cache_dir is None:
-            return
-        self.cache_dir.mkdir(parents=True, exist_ok=True)
-        path = self._cache_path(key)
-        payload = json.dumps({"params": _jsonable(params), "value": value})
-        # Writer-private temp file + atomic rename: concurrent sweeps
-        # computing the same cell never see partial JSON and never race on
-        # a shared temp name (last rename wins; the payloads are equal).
-        handle, tmp_name = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
-        with os.fdopen(handle, "w") as tmp_file:
-            tmp_file.write(payload)
-        Path(tmp_name).replace(path)
+    @property
+    def executor(self) -> str:
+        return self._engine.executor_name
 
     def run(self, spec: SweepSpec) -> SweepResult:
-        """Evaluate every cell (cache first, then pool) and collect values."""
-        ctx = spec.context()
-        points = spec.points()
-        values: dict[tuple, Any] = {}
-        pending: list[tuple[tuple, str, dict]] = []
-        hits = 0
-        for params in points:
-            key = self._cell_key(spec, params, ctx)
-            hit, value = self._cache_load(key)
-            if hit:
-                values[spec.key_of(params)] = value
-                hits += 1
-            else:
-                pending.append((spec.key_of(params), key, params))
-        if pending:
-            if self.jobs > 1 and len(pending) > 1:
-                with ProcessPoolExecutor(max_workers=self.jobs) as pool:
-                    futures = [
-                        pool.submit(_run_cell, spec.cell, params, ctx)
-                        for _point_key, _key, params in pending
-                    ]
-                    fresh = [future.result() for future in futures]
-            else:
-                fresh = [
-                    _run_cell(spec.cell, params, ctx)
-                    for _point_key, _key, params in pending
-                ]
-            for (point_key, key, params), value in zip(pending, fresh):
-                values[point_key] = value
-                self._cache_store(key, params, value)
-        return SweepResult(spec=spec, values=values, cache_hits=hits)
+        """Evaluate every cell (store first, then executor) and collect."""
+        report = self._engine.run(spec)
+        return SweepResult(
+            spec=spec,
+            values=report.values,
+            cache_hits=report.shard_hits,
+            resumed=report.resumed,
+        )

@@ -29,6 +29,13 @@ evolve independently per trial, exactly as
 stacked timeline.  The replication baseline intentionally stays on the
 session path: its speculation control flow is sequential by nature and its
 per-iteration numerics are a single mat-vec.
+
+Both runners share one chassis: a single :class:`_BatchOperator` record
+(name + simulator + per-family state) and the :class:`_BatchRunnerBase`
+round loop — speeds, forecast, family-specific planning, stacked
+simulation, forecaster feedback, metrics.  :func:`build_batch_runner` is
+the one construction surface the experiment harness and the execution
+engine go through.
 """
 
 from __future__ import annotations
@@ -54,6 +61,7 @@ __all__ = [
     "BatchRunMetrics",
     "BatchCodedRunner",
     "BatchOverDecompositionRunner",
+    "build_batch_runner",
 ]
 
 
@@ -148,27 +156,35 @@ class BatchRunMetrics:
 
 @dataclass
 class _BatchOperator:
+    """Shared operator adapter: one registered op of either runner family.
+
+    Coded operators carry their scheduler; over-decomposition operators
+    carry the per-trial holder tables (one evolving table per trial).  The
+    round loop in :class:`_BatchRunnerBase` only sees the simulator; the
+    family-specific state is consulted by the subclass planning hooks.
+    """
+
     name: str
-    scheduler: Scheduler
-    sim: CodedIterationSim
+    sim: CodedIterationSim | OverDecompositionIterationSim
+    scheduler: Scheduler | None = None
+    holders: list[list[tuple[int, ...]]] | None = None
 
 
 @dataclass
-class BatchCodedRunner:
-    """Latency twin of :class:`~repro.runtime.session.CodedSession`.
+class _BatchRunnerBase:
+    """Shared chassis of the batched runners: one round loop, two hooks.
 
-    Operators are registered by *geometry* (row/column counts and the
-    code's recovery threshold) instead of by encoded matrices; everything
-    else — granularity harmonisation, plan construction, the simulated
-    timeline, predictor feedback — follows the session's control loop
-    round for round, for all trials at once.
+    :meth:`matvec` replays one session round for every trial — measured
+    speeds, forecast, family-specific planning (``_plan_round``), the
+    stacked simulator, family-specific post-processing
+    (``_finish_round``), forecaster feedback, metrics — exactly in the
+    order the scalar sessions interleave those steps.
     """
 
     speed_model: BatchSpeedModel
     predictor: BatchPredictor
     network: NetworkModel = field(default_factory=NetworkModel)
     cost: CostModel = field(default_factory=CostModel)
-    timeout: TimeoutPolicy | None = None
     metrics: BatchRunMetrics = field(init=False)
     _operators: dict[str, _BatchOperator] = field(init=False, default_factory=dict)
     _iteration: int = field(init=False, default=0)
@@ -187,6 +203,56 @@ class BatchCodedRunner:
     def n_trials(self) -> int:
         return self.speed_model.n_trials
 
+    def _add_operator(self, op: _BatchOperator) -> None:
+        if op.name in self._operators:
+            raise ValueError(f"operator {op.name!r} already registered")
+        self._operators[op.name] = op
+
+    def _plan_round(self, op: _BatchOperator, predicted: np.ndarray):
+        raise NotImplementedError
+
+    def _finish_round(self, op: _BatchOperator, plans, outcome) -> np.ndarray:
+        """Post-simulation family hook; returns the per-trial repair flags."""
+        raise NotImplementedError
+
+    def matvec(self, name: str) -> None:
+        """Play one round for every trial (mat-vec or bilinear)."""
+        op = self._operators.get(name)
+        if op is None:
+            raise KeyError(f"no matvec operator named {name!r}")
+        actual = np.asarray(
+            self.speed_model.speeds_batch(self._iteration), dtype=np.float64
+        )
+        predicted = np.asarray(self.predictor.predict(), dtype=np.float64)
+        plans = self._plan_round(op, predicted)
+        outcome = op.sim.run_batch(plans, actual)
+        repaired = self._finish_round(op, plans, outcome)
+        self.predictor.update(np.where(outcome.responded, actual, np.nan))
+        self.metrics.add_round(
+            latency=outcome.completion_time,
+            computed=outcome.computed_rows,
+            used=outcome.used_rows,
+            assigned=outcome.assigned_rows,
+            predicted=predicted,
+            actual=actual,
+            repaired=repaired,
+        )
+        self._iteration += 1
+
+
+@dataclass
+class BatchCodedRunner(_BatchRunnerBase):
+    """Latency twin of :class:`~repro.runtime.session.CodedSession`.
+
+    Operators are registered by *geometry* (row/column counts and the
+    code's recovery threshold) instead of by encoded matrices; everything
+    else — granularity harmonisation, plan construction, the simulated
+    timeline, predictor feedback — follows the session's control loop
+    round for round, for all trials at once.
+    """
+
+    timeout: TimeoutPolicy | None = None
+
     def register_matvec(
         self,
         name: str,
@@ -202,8 +268,6 @@ class BatchCodedRunner:
         matrix encoded at recovery threshold ``k`` — the encoded partition
         height and chunk grid come out identical, without encoding anything.
         """
-        if name in self._operators:
-            raise ValueError(f"operator {name!r} already registered")
         block_rows = RowPartition(total_rows, k).block_rows
         scheduler, chunks = _harmonise_granularity(scheduler, num_chunks, block_rows)
         sim = CodedIterationSim(
@@ -214,7 +278,7 @@ class BatchCodedRunner:
             cost=self.cost,
             timeout=self.timeout,
         )
-        self._operators[name] = _BatchOperator(name=name, scheduler=scheduler, sim=sim)
+        self._add_operator(_BatchOperator(name=name, sim=sim, scheduler=scheduler))
 
     def register_bilinear(
         self,
@@ -236,8 +300,6 @@ class BatchCodedRunner:
         per-task ``diag(x)`` cost, and broadcast width as the session
         derives from the encoded matrices.
         """
-        if name in self._operators:
-            raise ValueError(f"operator {name!r} already registered")
         block_rows = RowPartition(left_rows, a).block_rows
         block_cols = RowPartition(right_cols, b).block_rows
         scheduler, chunks = _harmonise_granularity(scheduler, num_chunks, block_rows)
@@ -251,41 +313,17 @@ class BatchCodedRunner:
             cost=self.cost,
             timeout=self.timeout,
         )
-        self._operators[name] = _BatchOperator(name=name, scheduler=scheduler, sim=sim)
+        self._add_operator(_BatchOperator(name=name, sim=sim, scheduler=scheduler))
 
-    def matvec(self, name: str) -> None:
-        """Play one coded round for every trial (mat-vec or bilinear)."""
-        op = self._operators.get(name)
-        if op is None:
-            raise KeyError(f"no matvec operator named {name!r}")
-        actual = np.asarray(
-            self.speed_model.speeds_batch(self._iteration), dtype=np.float64
-        )
-        predicted = np.asarray(self.predictor.predict(), dtype=np.float64)
-        plans = plan_batch(op.scheduler, predicted)
-        outcome = op.sim.run_batch(plans, actual)
-        self.predictor.update(np.where(outcome.responded, actual, np.nan))
-        self.metrics.add_round(
-            latency=outcome.completion_time,
-            computed=outcome.computed_rows,
-            used=outcome.used_rows,
-            assigned=outcome.assigned_rows,
-            predicted=predicted,
-            actual=actual,
-            repaired=outcome.repaired,
-        )
-        self._iteration += 1
+    def _plan_round(self, op: _BatchOperator, predicted: np.ndarray):
+        return plan_batch(op.scheduler, predicted)
+
+    def _finish_round(self, op: _BatchOperator, plans, outcome) -> np.ndarray:
+        return outcome.repaired
 
 
 @dataclass
-class _BatchOverDecompOperator:
-    name: str
-    holders: list[list[tuple[int, ...]]]  # one evolving table per trial
-    sim: OverDecompositionIterationSim
-
-
-@dataclass
-class BatchOverDecompositionRunner:
+class BatchOverDecompositionRunner(_BatchRunnerBase):
     """Latency twin of :class:`~repro.runtime.session.OverDecompositionSession`.
 
     Plans are still built per trial — each trial's holder table evolves
@@ -297,31 +335,8 @@ class BatchOverDecompositionRunner:
     seed.
     """
 
-    speed_model: BatchSpeedModel
-    predictor: BatchPredictor
-    network: NetworkModel = field(default_factory=NetworkModel)
-    cost: CostModel = field(default_factory=CostModel)
     factor: int = 4
     replication: float = 1.42
-    metrics: BatchRunMetrics = field(init=False)
-    _operators: dict[str, _BatchOverDecompOperator] = field(
-        init=False, default_factory=dict
-    )
-    _iteration: int = field(init=False, default=0)
-
-    def __post_init__(self) -> None:
-        self.metrics = BatchRunMetrics(
-            n_trials=self.speed_model.n_trials,
-            n_workers=self.speed_model.n_workers,
-        )
-
-    @property
-    def n_workers(self) -> int:
-        return self.speed_model.n_workers
-
-    @property
-    def n_trials(self) -> int:
-        return self.speed_model.n_trials
 
     def register_matvec(self, name: str, total_rows: int, width: int) -> None:
         """Register the latency geometry of an over-decomposed mat-vec.
@@ -330,8 +345,6 @@ class BatchOverDecompositionRunner:
         ``total_rows × width`` matrix split into ``factor × n`` partitions —
         same placement, same per-partition row count, no matrix built.
         """
-        if name in self._operators:
-            raise ValueError(f"operator {name!r} already registered")
         placement = OverDecompositionPlacement(
             self.n_workers, factor=self.factor, replication=self.replication
         )
@@ -342,22 +355,16 @@ class BatchOverDecompositionRunner:
             network=self.network,
             cost=self.cost,
         )
-        self._operators[name] = _BatchOverDecompOperator(
-            name=name,
-            holders=[list(placement.holders) for _ in range(self.n_trials)],
-            sim=sim,
+        self._add_operator(
+            _BatchOperator(
+                name=name,
+                sim=sim,
+                holders=[list(placement.holders) for _ in range(self.n_trials)],
+            )
         )
 
-    def matvec(self, name: str) -> None:
-        """Play one over-decomposition round for every trial."""
-        op = self._operators.get(name)
-        if op is None:
-            raise KeyError(f"no matvec operator named {name!r}")
-        actual = np.asarray(
-            self.speed_model.speeds_batch(self._iteration), dtype=np.float64
-        )
-        predicted = np.asarray(self.predictor.predict(), dtype=np.float64)
-        plans = [
+    def _plan_round(self, op: _BatchOperator, predicted: np.ndarray):
+        return [
             plan_assignment(
                 op.holders[t],
                 np.clip(predicted[t], 1e-9, None),
@@ -365,7 +372,8 @@ class BatchOverDecompositionRunner:
             )
             for t in range(self.n_trials)
         ]
-        outcome = op.sim.run_batch(plans, actual)
+
+    def _finish_round(self, op: _BatchOperator, plans, outcome) -> np.ndarray:
         # Migrated copies become resident on their new worker (per trial).
         for t, plan in enumerate(plans):
             holders = op.holders[t]
@@ -373,14 +381,54 @@ class BatchOverDecompositionRunner:
                 worker = int(plan.owner[partition])
                 if worker not in holders[partition]:
                     holders[partition] = holders[partition] + (worker,)
-        self.predictor.update(np.where(outcome.responded, actual, np.nan))
-        self.metrics.add_round(
-            latency=outcome.completion_time,
-            computed=outcome.computed_rows,
-            used=outcome.used_rows,
-            assigned=outcome.assigned_rows,
-            predicted=predicted,
-            actual=actual,
-            repaired=np.zeros(self.n_trials, dtype=bool),
+        return np.zeros(self.n_trials, dtype=bool)
+
+
+#: The runner families :func:`build_batch_runner` can construct.
+_RUNNER_FAMILIES = {
+    "coded": BatchCodedRunner,
+    "overdecomposition": BatchOverDecompositionRunner,
+}
+
+
+def build_batch_runner(
+    family: str,
+    speed_model: BatchSpeedModel,
+    predictor: BatchPredictor,
+    *,
+    network: NetworkModel | None = None,
+    cost: CostModel | None = None,
+    **knobs,
+) -> _BatchRunnerBase:
+    """One construction surface for the batched runner families.
+
+    ``family`` is ``"coded"`` (knob: ``timeout``) or
+    ``"overdecomposition"`` (knobs: ``factor``, ``replication``); unknown
+    families and knobs raise ``ValueError`` listing what is available.
+    The experiment harness and the execution engine build every batched
+    runner through here, so the two families cannot drift apart.
+    """
+    try:
+        runner_cls = _RUNNER_FAMILIES[family]
+    except KeyError:
+        raise ValueError(
+            f"unknown batch-runner family {family!r}; available: "
+            f"{', '.join(sorted(_RUNNER_FAMILIES))}"
+        ) from None
+    init_fields = {
+        f.name
+        for f in runner_cls.__dataclass_fields__.values()
+        if f.init and f.name not in {"speed_model", "predictor", "network", "cost"}
+    }
+    unknown = set(knobs) - init_fields
+    if unknown:
+        raise ValueError(
+            f"family {family!r} has no knob(s) {sorted(unknown)}; "
+            f"available: {sorted(init_fields)}"
         )
-        self._iteration += 1
+    kwargs = dict(knobs)
+    if network is not None:
+        kwargs["network"] = network
+    if cost is not None:
+        kwargs["cost"] = cost
+    return runner_cls(speed_model=speed_model, predictor=predictor, **kwargs)

@@ -1,0 +1,175 @@
+"""Shard-merge determinism and resume semantics of the execution engine.
+
+The load-bearing guarantees of the tentpole refactor:
+
+* for representative mitigation policies × straggler scenarios, sweep
+  results at ``jobs=1`` vs ``jobs=N`` and at shard sizes ``{1, 7, trials}``
+  are **bitwise-equal** — sharding a cell's trials and merging the pieces
+  reproduces the monolithic evaluation exactly;
+* a sweep killed mid-run and then resumed produces results identical to an
+  uninterrupted run, computing only the missing shards.
+"""
+
+import pytest
+
+from repro.engine import (
+    ExecutionEngine,
+    NothingToResumeError,
+    RunStore,
+    SweepSpec,
+)
+from repro.experiments.matrix import _cell as matrix_cell
+from repro.experiments.sweep import SweepRunner
+
+#: Representative policy families: conventional MDS, the repair-armed full
+#: system, the batched over-decomposition baseline, and the scalar-session
+#: replication baseline — every ``run_scenario`` code path in the registry.
+POLICIES = ("mds", "timeout-repair", "overdecomp", "uncoded")
+SCENARIOS = ("constant", "bursty")
+TRIALS = 8
+
+
+def _spec(trials=TRIALS, seed=3):
+    return SweepSpec(
+        name="engine-determinism",
+        cell=matrix_cell,
+        axes=(("policy", POLICIES), ("scenario", SCENARIOS)),
+        trials=trials,
+        base_seed=seed,
+        quick=True,
+    )
+
+
+class TestShardMergeDeterminism:
+    @pytest.fixture(scope="class")
+    def monolithic(self):
+        # shard_size=trials: one unit per cell, the pre-engine behaviour.
+        return SweepRunner(jobs=1, shard_size=TRIALS).run(_spec()).values
+
+    @pytest.mark.parametrize("shard_size", [1, 7, TRIALS])
+    def test_shard_sizes_bitwise_equal(self, monolithic, shard_size):
+        sharded = SweepRunner(jobs=1, shard_size=shard_size).run(_spec())
+        assert sharded.values == monolithic
+
+    @pytest.mark.parametrize("executor", ["process", "thread"])
+    def test_pooled_jobs_bitwise_equal(self, monolithic, executor):
+        pooled = SweepRunner(jobs=2, executor=executor, shard_size=3).run(
+            _spec()
+        )
+        assert pooled.values == monolithic
+
+    def test_trial_slices_match_smaller_sweeps(self, monolithic):
+        # Trial t is seeded by stride arithmetic, so a 3-trial sweep is a
+        # strict prefix of the 8-trial one, cell for cell.
+        small = SweepRunner(jobs=1).run(_spec(trials=3))
+        for key, value in small.values.items():
+            full = monolithic[key]
+            assert value == {k: v[:3] for k, v in full.items()}
+
+
+# --- resume ---------------------------------------------------------------
+
+_CALLS = {"count": 0, "fail_after": None}
+
+
+def _counting_cell(params, ctx):
+    """Matrix cell wrapped in an interruptible call counter."""
+    if (
+        _CALLS["fail_after"] is not None
+        and _CALLS["count"] >= _CALLS["fail_after"]
+    ):
+        raise RuntimeError("simulated kill")
+    _CALLS["count"] += 1
+    return matrix_cell(params, ctx)
+
+
+def _resume_spec():
+    return SweepSpec(
+        name="engine-resume",
+        cell=_counting_cell,
+        axes=(("policy", ("mds", "timeout-repair")), ("scenario", ("spot",))),
+        trials=6,
+        base_seed=1,
+        quick=True,
+    )
+
+
+class TestResume:
+    def test_killed_then_resumed_equals_uninterrupted(self, tmp_path):
+        # 2 cells × 3 shards of 2 trials = 6 shard units.
+        uninterrupted = ExecutionEngine(
+            jobs=1, store=RunStore(tmp_path / "clean"), shard_size=2
+        ).run(_resume_spec())
+
+        store = RunStore(tmp_path / "killed")
+        _CALLS.update(count=0, fail_after=4)
+        with pytest.raises(RuntimeError, match="simulated kill"):
+            ExecutionEngine(jobs=1, store=store, shard_size=2).run(
+                _resume_spec()
+            )
+        # The kill landed mid-run: 4 shards persisted, manifest incomplete.
+        assert store.shard_count() == 4
+        (run_key,) = store.run_keys()
+        assert store.manifest_of(run_key)["complete"] is False
+
+        _CALLS.update(count=0, fail_after=None)
+        resumed = ExecutionEngine(
+            jobs=1, store=store, shard_size=2, resume=True
+        ).run(_resume_spec())
+        assert resumed.resumed is True
+        assert resumed.shard_hits == 4
+        assert _CALLS["count"] == 2  # only the missing shards ran
+        assert resumed.values == uninterrupted.values
+        assert store.manifest_of(run_key)["complete"] is True
+
+    def test_resume_with_empty_store_raises(self, tmp_path):
+        _CALLS.update(count=0, fail_after=None)
+        engine = ExecutionEngine(
+            jobs=1, store=RunStore(tmp_path), shard_size=2, resume=True
+        )
+        with pytest.raises(NothingToResumeError, match="nothing to resume"):
+            engine.run(_resume_spec())
+
+    def test_resume_runs_never_started_tail_specs_fresh(self, tmp_path):
+        # A multi-spec command interrupted at spec N has nothing stored
+        # for specs N+1..: resuming must compute them, not exit 2.
+        store = RunStore(tmp_path)
+        _CALLS.update(count=0, fail_after=None)
+        first = _resume_spec()
+        ExecutionEngine(jobs=1, store=store, shard_size=2).run(first)
+
+        tail = SweepSpec(
+            name="engine-resume-tail",
+            cell=_counting_cell,
+            axes=(("policy", ("mds",)), ("scenario", ("constant",))),
+            trials=2,
+            base_seed=1,
+            quick=True,
+        )
+        engine = ExecutionEngine(jobs=1, store=store, shard_size=2, resume=True)
+        resumed_first = engine.run(first)
+        assert resumed_first.shard_hits == resumed_first.shards_total
+        fresh_tail = engine.run(tail)  # no stored run: fresh, not an error
+        assert fresh_tail.shard_hits == 0
+        assert fresh_tail.values
+
+    def test_resume_requires_a_store(self):
+        with pytest.raises(ValueError, match="run store"):
+            ExecutionEngine(jobs=1, resume=True)
+
+    def test_interrupted_run_is_warm_even_without_resume(self, tmp_path):
+        # Shard records are content-keyed, so a plain re-run (the default
+        # CLI path) also picks the four finished shards up; --resume adds
+        # the guarantee that a stored run actually exists.
+        store = RunStore(tmp_path)
+        _CALLS.update(count=0, fail_after=4)
+        with pytest.raises(RuntimeError):
+            ExecutionEngine(jobs=1, store=store, shard_size=2).run(
+                _resume_spec()
+            )
+        _CALLS.update(count=0, fail_after=None)
+        rerun = ExecutionEngine(jobs=1, store=store, shard_size=2).run(
+            _resume_spec()
+        )
+        assert rerun.shard_hits == 4
+        assert _CALLS["count"] == 2

@@ -98,17 +98,20 @@ class TestDeterminism:
 
 
 class TestCacheInvalidation:
-    def test_warm_cache_hits_and_policy_registration_invalidates(self, tmp_path):
+    def test_warm_store_hits_and_policy_registration_invalidates(self, tmp_path):
+        from repro.engine import RunStore
+
         result = _small(runner=SweepRunner(jobs=1, cache_dir=tmp_path))
         cells = len(POLICIES) * len(SCENARIOS)
-        assert len(list(tmp_path.glob("*.json"))) == cells
+        # trials=2 < the shard stride, so one stored shard per cell.
+        assert RunStore(tmp_path).shard_count() == cells
 
         warm = _small(runner=SweepRunner(jobs=1, cache_dir=tmp_path))
         for a, b in zip(result.tables(), warm.tables()):
             assert a.format_table() == b.format_table()
 
-        # Registering a policy at runtime must invalidate every cached
-        # cell: the sweep key folds in the policy registry digest.
+        # Registering a policy at runtime must invalidate every stored
+        # shard: the shard key folds in the policy registry digest.
         extra = pol.PolicySpec(
             name="zz-cache-test",
             summary="ephemeral",
@@ -119,18 +122,20 @@ class TestCacheInvalidation:
         with pytest.MonkeyPatch.context() as patch:
             patch.setitem(pol._REGISTRY, "zz-cache-test", extra)
             _small(runner=SweepRunner(jobs=1, cache_dir=tmp_path))
-            assert len(list(tmp_path.glob("*.json"))) == 2 * cells
-        # Back under the original registry, the original entries hit again.
+            assert RunStore(tmp_path).shard_count() == 2 * cells
+        # Back under the original registry, the original records hit again.
         runner = SweepRunner(jobs=1, cache_dir=tmp_path)
-        spec_cells = len(list(tmp_path.glob("*.json")))
+        stored = RunStore(tmp_path).shard_count()
         _small(runner=runner)
-        assert len(list(tmp_path.glob("*.json"))) == spec_cells
+        assert RunStore(tmp_path).shard_count() == stored
 
     def test_scenario_registration_also_invalidates(self, tmp_path):
         from repro.cluster import scenarios as scn
+        from repro.engine import RunStore
 
         _small(runner=SweepRunner(jobs=1, cache_dir=tmp_path))
-        cells = len(list(tmp_path.glob("*.json")))
+        cells = RunStore(tmp_path).shard_count()
+        assert cells == len(POLICIES) * len(SCENARIOS)
         extra = scn.ScenarioSpec(
             name="zz-cache-test",
             summary="ephemeral",
@@ -140,7 +145,7 @@ class TestCacheInvalidation:
         with pytest.MonkeyPatch.context() as patch:
             patch.setitem(scn._REGISTRY, "zz-cache-test", extra)
             _small(runner=SweepRunner(jobs=1, cache_dir=tmp_path))
-        assert len(list(tmp_path.glob("*.json"))) == 2 * cells
+        assert RunStore(tmp_path).shard_count() == 2 * cells
 
 
 class TestCli:

@@ -1,4 +1,9 @@
-"""Sweep engine: grid enumeration, deterministic seeding, caching, pool."""
+"""Sweep facade: grid enumeration, deterministic seeding, store, pool.
+
+The engine's own layers (plan compilation, executors, run store, resume)
+are covered in ``tests/engine/``; this module pins the stable
+``repro.experiments.sweep`` surface the experiment modules build on.
+"""
 
 import json
 import os
@@ -6,6 +11,7 @@ import os
 import numpy as np
 import pytest
 
+from repro.engine import RunStore, compile_plan, shard_key
 from repro.experiments.sweep import (
     SEED_STRIDE,
     SweepContext,
@@ -14,6 +20,10 @@ from repro.experiments.sweep import (
     default_cache_dir,
     register_run_scoped_cache,
 )
+
+
+def _stored_shards(cache_dir) -> int:
+    return RunStore(cache_dir).shard_count()
 
 
 def _record_and_compute(params: dict, ctx: SweepContext):
@@ -125,29 +135,37 @@ class TestCache:
         assert result.cache_hits == 6  # the old grid
         assert len(list(markers.iterdir())) == before + 3  # only a=3 cells ran
 
-    def test_key_varies_with_seeds_and_quick(self, tmp_path):
-        runner = SweepRunner(jobs=1, cache_dir=tmp_path)
+    def test_key_varies_with_seeds_and_quick(self):
         spec = _spec()
-        ctx = spec.context()
-        base = runner._cell_key(spec, {"a": 1, "b": 3}, ctx)
-        other_seed = _spec(base_seed=8).context()
-        assert runner._cell_key(spec, {"a": 1, "b": 3}, other_seed) != base
-        full = SweepContext(quick=False, base_seed=7, seeds=ctx.seeds)
-        assert runner._cell_key(spec, {"a": 1, "b": 3}, full) != base
-        assert runner._cell_key(spec, {"a": 1, "b": 4}, ctx) != base
+        shard = compile_plan(spec).shards[0]
+        base = shard_key(spec, shard)
+        other_seed = compile_plan(_spec(base_seed=8)).shards[0]
+        assert shard_key(spec, other_seed) != base
+        full_scale = compile_plan(
+            SweepSpec(
+                name="demo",
+                cell=_record_and_compute,
+                axes=spec.axes,
+                trials=spec.trials,
+                base_seed=spec.base_seed,
+                quick=False,
+            )
+        ).shards[0]
+        assert shard_key(spec, full_scale) != base
+        other_point = compile_plan(spec).shards[1]
+        assert shard_key(spec, other_point) != base
 
-    def test_key_varies_with_scenario_registry(self, tmp_path):
-        # A cell resolving a scenario by name must not hit a cache entry
+    def test_key_varies_with_scenario_registry(self):
+        # A cell resolving a scenario by name must not hit a stored shard
         # computed under a different registry — registering (or editing) a
-        # scenario invalidates previously cached cells.
+        # scenario invalidates previously stored shards.
         from repro.cluster import scenarios as scn
         from repro.cluster.speed_models import ConstantSpeeds
 
-        runner = SweepRunner(jobs=1, cache_dir=tmp_path)
         spec = _spec()
-        ctx = spec.context()
-        base = runner._cell_key(spec, {"a": 1, "b": 3}, ctx)
-        assert runner._cell_key(spec, {"a": 1, "b": 3}, ctx) == base
+        shard = compile_plan(spec).shards[0]
+        base = shard_key(spec, shard)
+        assert shard_key(spec, shard) == base
         extra = scn.ScenarioSpec(
             name="zz-cache-test",
             summary="ephemeral",
@@ -156,19 +174,25 @@ class TestCache:
         )
         with pytest.MonkeyPatch.context() as patch:
             patch.setitem(scn._REGISTRY, "zz-cache-test", extra)
-            assert runner._cell_key(spec, {"a": 1, "b": 3}, ctx) != base
-        assert runner._cell_key(spec, {"a": 1, "b": 3}, ctx) == base
+            assert shard_key(spec, shard) != base
+        assert shard_key(spec, shard) == base
 
-    def test_corrupt_cache_entry_recomputed(self, tmp_path):
+    def test_corrupt_store_records_recomputed(self, tmp_path):
         runner = SweepRunner(jobs=1, cache_dir=tmp_path)
         spec = _spec()
         runner.run(spec)
-        for path in tmp_path.glob("*.json"):
-            path.write_text("{not json")
+        for path in tmp_path.glob("runs/*/shards.jsonl"):
+            path.write_text("{not json\n")
         result = runner.run(spec)
         assert result.cache_hits == 0
-        for path in tmp_path.glob("*.json"):
-            json.loads(path.read_text())  # rewritten valid
+        # The torn lines stay (append-only log) but every shard is stored
+        # again as a well-formed record behind them.
+        assert _stored_shards(tmp_path) == 6
+        for path in tmp_path.glob("runs/*/shards.jsonl"):
+            lines = path.read_text().splitlines()
+            assert lines[0] == "{not json"
+            for line in lines[1:]:
+                json.loads(line)
 
     def test_default_cache_dir_env_override(self, monkeypatch, tmp_path):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "custom"))
@@ -182,16 +206,22 @@ class TestParallel:
         pooled = SweepRunner(jobs=2).run(spec)
         assert pooled.values == inline.values
 
-    def test_pool_populates_cache(self, tmp_path):
+    def test_pool_populates_store(self, tmp_path):
         runner = SweepRunner(jobs=2, cache_dir=tmp_path)
         runner.run(_spec())
-        assert len(list(tmp_path.glob("*.json"))) == 6
+        assert _stored_shards(tmp_path) == 6
         assert runner.run(_spec()).cache_hits == 6
+
+    def test_thread_executor_matches_inline(self):
+        spec = _spec(trials=2)
+        inline = SweepRunner(jobs=1).run(spec)
+        threaded = SweepRunner(jobs=2, executor="thread").run(spec)
+        assert threaded.values == inline.values
 
 
 class TestRunScopedCaches:
     def test_new_runner_clears_registered_memos(self):
-        from repro.experiments import sweep as sweep_module
+        from repro.engine import runner as engine_runner
 
         memo = {"stale": "entry"}
         clear = memo.clear
@@ -203,4 +233,4 @@ class TestRunScopedCaches:
             SweepRunner(jobs=2)
             assert memo == {}
         finally:
-            sweep_module._RUN_SCOPED_CACHE_CLEARERS.remove(clear)
+            engine_runner._RUN_SCOPED_CACHE_CLEARERS.remove(clear)

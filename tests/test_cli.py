@@ -57,21 +57,81 @@ class TestCli:
         with pytest.raises(SystemExit):
             main(["experiments", "--help"])
         out = capsys.readouterr().out
-        for flag in ("--trials", "--jobs", "--no-cache", "--cache-dir", "--seed"):
+        for flag in (
+            "--trials", "--jobs", "--executor", "--shard-size", "--resume",
+            "--no-cache", "--cache-dir", "--seed",
+        ):
             assert flag in out
 
     def test_run_with_trials_and_jobs(self, capsys, tmp_path):
+        from repro.engine import RunStore
+
         argv = [
             "experiments", "fig02", "--quick", "--trials", "2",
             "--jobs", "2", "--cache-dir", str(tmp_path),
         ]
         assert main(argv) == 0
         assert "fig02" in capsys.readouterr().out
-        assert list(tmp_path.glob("*.json")), "sweep cache should be populated"
-        # Warm-cache re-run produces the same table.
+        assert RunStore(tmp_path).shard_count(), "run store should be populated"
+        # Warm-store re-run produces the same table.
         assert main(argv) == 0
+        assert "fig02" in capsys.readouterr().out
+        # So does an explicit --resume of the finished run.
+        assert main(argv + ["--resume"]) == 0
         assert "fig02" in capsys.readouterr().out
 
     def test_no_cache_flag(self, capsys):
         assert main(["experiments", "fig02", "--quick", "--no-cache"]) == 0
         assert "regime" in capsys.readouterr().out
+
+
+class TestCliValidation:
+    """Bad --jobs/--trials/--executor values: exit 2, message names the flag.
+
+    The contract is uniform across subcommands (shared types in
+    `repro.engine.options`), so one subcommand per flag is representative;
+    `matrix` is exercised once to pin the sharing.
+    """
+
+    @pytest.mark.parametrize("command", ["experiments", "matrix"])
+    @pytest.mark.parametrize(
+        "flag,value",
+        [("--jobs", "0"), ("--trials", "-3"), ("--trials", "many"),
+         ("--shard-size", "0"), ("--executor", "bogus")],
+    )
+    def test_bad_value_exits_2_naming_flag(self, capsys, command, flag, value):
+        with pytest.raises(SystemExit) as excinfo:
+            main([command, flag, value])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert flag in err
+
+    def test_unknown_executor_error_lists_backends(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["experiments", "--executor", "bogus"])
+        err = capsys.readouterr().err
+        for name in ("process", "serial", "thread"):
+            assert name in err
+
+    def test_resume_without_store_exits_2(self, capsys):
+        assert main(["experiments", "fig02", "--no-cache", "--resume"]) == 2
+        err = capsys.readouterr().err
+        assert "error" in err and "resume" in err
+
+    def test_resume_with_nothing_stored_exits_2(self, capsys, tmp_path):
+        argv = [
+            "experiments", "fig02", "--quick",
+            "--cache-dir", str(tmp_path), "--resume",
+        ]
+        assert main(argv) == 2
+        err = capsys.readouterr().err
+        assert "--resume" in err and "nothing to resume" in err
+
+    def test_thread_executor_runs(self, capsys):
+        argv = [
+            "experiments", "fig02", "--quick", "--no-cache",
+            "--trials", "2", "--jobs", "2", "--executor", "thread",
+            "--shard-size", "1",
+        ]
+        assert main(argv) == 0
+        assert "fig02" in capsys.readouterr().out
