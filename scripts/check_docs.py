@@ -12,7 +12,15 @@ Scans README.md and docs/*.md (by default) for
 * experiment names in ``python -m repro experiments <name>`` examples —
   each must be registered in ``repro.experiments.ALL_EXPERIMENTS``;
 * policy / scenario names passed via ``--policy`` / ``--scenario`` on
-  ``python -m repro matrix`` example lines — each must be registered;
+  ``python -m repro matrix`` / ``python -m repro fuzz`` example lines —
+  each must be registered, where scenarios may be composition
+  expressions (quoted, e.g. ``--scenario 'overlay(rack,bursty)'``) that
+  must resolve through the expression parser;
+* backticked scenario composition expressions anywhere in the text
+  (``overlay(rack,bursty)``, ``mix(bursty,constant,weight=0.7)``) — any
+  expression whose head is a registered scenario or combinator must
+  resolve, so algebra examples can't reference unknown combinators,
+  leaves, or parameters;
 * every ``--flag`` on a ``python -m repro <subcommand>`` example line —
   each must be accepted by that subcommand's argument parser (so docs
   can't advertise ``--executor`` / ``--resume`` spellings the CLI does
@@ -44,12 +52,13 @@ PATHLIKE = re.compile(
     r"`((?:src|docs|scripts|tests|benchmarks|examples)(?:/[A-Za-z0-9_.\-]+)*/?)`"
 )
 EXPERIMENT_CMD = re.compile(r"python -m repro experiments ((?:[a-z0-9]+ )*[a-z0-9]+)")
-MATRIX_CMD_LINE = re.compile(r"python -m repro matrix(?:[^\n]*\\\n)*[^\n]*")
+SWEEP_CMD_LINE = re.compile(r"python -m repro (?:matrix|fuzz)(?:[^\n]*\\\n)*[^\n]*")
 REPRO_CMD_LINE = re.compile(
     r"python -m repro ([a-z]+)((?:[^\n]*\\\n)*[^\n]*)"
 )
 POLICY_FLAG = re.compile(r"--policy ([a-z0-9\-]+)")
-SCENARIO_FLAG = re.compile(r"--scenario ([a-z0-9\-]+)")
+SCENARIO_FLAG = re.compile(r"--scenario (?:'([^']+)'|([a-z0-9\-]+))")
+COMPOSED_EXPR = re.compile(r"`([a-z_][a-z0-9_\-]*\([^`\s]*\))`")
 CLI_FLAG = re.compile(r"(--[a-z][a-z0-9\-]*)")
 EXECUTOR_FLAG = re.compile(r"--executor[= ]([A-Za-z0-9_\-]+)")
 MD_LINK = re.compile(r"(?<!!)\[[^\]\[]*\]\(([^()\s]+)\)")
@@ -141,16 +150,35 @@ def check_file(path: Path) -> list[str]:
         for name in names.split():
             if name not in ALL_EXPERIMENTS:
                 errors.append(f"{path.name}: unknown experiment `{name}`")
-    from repro.cluster.scenarios import available_scenarios
+    from repro.cluster.compose import available_combinators
+    from repro.cluster.scenarios import available_scenarios, get_scenario
     from repro.scheduling.policies import available_policies
 
-    for command in MATRIX_CMD_LINE.findall(text):
+    def _scenario_resolves(name: str) -> bool:
+        try:
+            get_scenario(name)  # parses composition expressions too
+        except KeyError:
+            return False
+        return True
+
+    for command in SWEEP_CMD_LINE.findall(text):
         for name in POLICY_FLAG.findall(command):
             if name not in available_policies():
                 errors.append(f"{path.name}: unknown policy `{name}`")
-        for name in SCENARIO_FLAG.findall(command):
-            if name not in available_scenarios():
+        for quoted, bare in SCENARIO_FLAG.findall(command):
+            name = quoted or bare
+            if not _scenario_resolves(name):
                 errors.append(f"{path.name}: unknown scenario `{name}`")
+    # Composition expressions anywhere in the text: validate any whose
+    # head is a registered scenario or combinator (other backticked
+    # call-shaped code — `run(quick=True)` etc. — is left alone).
+    for expr in sorted(set(COMPOSED_EXPR.findall(text))):
+        head = expr.split("(", 1)[0]
+        if head in available_scenarios() or head in available_combinators():
+            if not _scenario_resolves(expr):
+                errors.append(
+                    f"{path.name}: unresolvable scenario expression `{expr}`"
+                )
     from repro.engine.executors import available_executors
 
     cli_options = _cli_options()

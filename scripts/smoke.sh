@@ -25,6 +25,9 @@ python scripts/gen_api_docs.py --check
 echo "== results handbook freshness =="
 python scripts/gen_results_docs.py --check
 
+echo "== tournament report freshness =="
+python scripts/gen_tournament_docs.py --check
+
 echo "== tiny parallel sweep (cold, warm run store, then --resume) =="
 CACHE="$(mktemp -d)"
 trap 'rm -rf "$CACHE"' EXIT
@@ -41,6 +44,10 @@ python -m repro experiments scenrepair --quick --trials 2 --jobs 2 --cache-dir "
 
 echo "== policy x scenario matrix (every policy, every scenario) =="
 python -m repro matrix --quick --trials 2 --jobs 2 --summary-only --cache-dir "$CACHE"
+
+echo "== fixed-seed fuzz tournament (generated scenarios, composed names) =="
+python -m repro fuzz --quick --scenarios 8 --trials 2 --jobs 2 --seed 7 \
+    --summary-only --cache-dir "$CACHE"
 
 if [ "$1" = "bench" ]; then
     echo "== bench (appending to BENCH_SWEEP.json) =="

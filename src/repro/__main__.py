@@ -34,6 +34,20 @@ Commands
     table per scenario plus the normalised-latency and waste summary
     grids.  ``--policy`` / ``--scenario`` filter the registries (repeat
     the flag); an unknown name exits 2 listing the registry.
+``fuzz [--scenarios N] [--population-seed S] [--policy P ...]
+[--scenario S ...] [--summary-only] [--quick] [--trials N] [--jobs N]
+[--executor NAME] [--shard-size N] [--resume] [--seed S] [--no-cache]
+[--cache-dir PATH]``
+    Policy tournament over ``--scenarios N`` fuzzer-generated straggler
+    scenarios (see :mod:`repro.cluster.fuzz`): per-policy win counts,
+    worst-case latency/waste, conformal bands, and the latency-vs-waste
+    Pareto frontier.  The population is fully determined by
+    ``--population-seed`` (default: ``--seed``), so identical flags print
+    byte-identical tables and an interrupted run finishes identically
+    under ``--resume``.  ``--scenario`` appends named scenarios — base
+    names or composition expressions like ``overlay(rack,bursty)`` — to
+    the generated population; an unknown policy/scenario/combinator name
+    exits 2 listing the registry.
 ``version``
     Print the package version.
 
@@ -152,7 +166,54 @@ def _cmd_matrix(args: argparse.Namespace) -> int:
     for table in tables:
         print(table.format_table())
         print(flush=True)
-    print(f"   [{elapsed:.1f}s]")
+    # Timing is diagnostic and lands on stderr: stdout stays
+    # byte-deterministic across identical-seed re-runs.
+    print(f"   [{elapsed:.1f}s]", file=sys.stderr)
+    return 0
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.cluster.scenarios import get_scenario
+    from repro.experiments.sweep import NothingToResumeError
+    from repro.experiments.tournament import run_tournament
+    from repro.scheduling.policies import get_policy
+
+    # Same contract as `matrix`: validate names before running anything,
+    # so the KeyError catch never masks a failure inside a sweep cell.
+    try:
+        for name in args.policy or ():
+            get_policy(name)
+        for name in args.scenario or ():
+            get_scenario(name)
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+    runner = _make_runner(args)
+    if runner is None:
+        return 2
+    start = time.perf_counter()
+    try:
+        result = run_tournament(
+            quick=args.quick,
+            seed=args.seed,
+            trials=args.trials,
+            runner=runner,
+            policies=tuple(args.policy) if args.policy else None,
+            n_scenarios=args.scenarios,
+            population_seed=args.population_seed,
+            extra_scenarios=tuple(args.scenario) if args.scenario else (),
+        )
+    except NothingToResumeError as error:
+        print(f"error: --resume: {error}", file=sys.stderr)
+        return 2
+    elapsed = time.perf_counter() - start
+    tables = (
+        [result.summary, result.pareto] if args.summary_only else result.tables()
+    )
+    for table in tables:
+        print(table.format_table())
+        print(flush=True)
+    print(f"   [{elapsed:.1f}s]", file=sys.stderr)
     return 0
 
 
@@ -180,7 +241,7 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
             return 2
         elapsed = time.perf_counter() - start
         print(result.format_table())
-        print(f"   [{elapsed:.1f}s]")
+        print(f"   [{elapsed:.1f}s]", file=sys.stderr)
         print(flush=True)
     return 0
 
@@ -273,6 +334,50 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print only the two summary grids, not the per-scenario tables",
     )
+    fuzz_p = sub.add_parser(
+        "fuzz",
+        help="policy tournament over fuzzer-generated scenarios",
+        parents=[sweep_flags],
+    )
+    from repro.engine.options import positive_int
+
+    fuzz_p.add_argument(
+        "--scenarios",
+        type=positive_int,
+        default=None,
+        metavar="N",
+        help="generated-scenario population size (default: 8 with --quick, "
+        "16 otherwise)",
+    )
+    fuzz_p.add_argument(
+        "--population-seed",
+        type=int,
+        default=None,
+        metavar="S",
+        help="seed of the generated population (default: --seed, so one "
+        "seed pins the whole tournament)",
+    )
+    fuzz_p.add_argument(
+        "--policy",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="restrict to this policy (repeatable; default: whole registry)",
+    )
+    fuzz_p.add_argument(
+        "--scenario",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="append this scenario to the generated population (repeatable; "
+        "accepts composition expressions like 'overlay(rack,bursty)')",
+    )
+    fuzz_p.add_argument(
+        "--summary-only",
+        action="store_true",
+        help="print only the summary and Pareto tables, not the "
+        "per-scenario winners",
+    )
     sub.add_parser("version", help="print the package version")
     return parser
 
@@ -290,6 +395,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_policies(args.names)
     if args.command == "matrix":
         return _cmd_matrix(args)
+    if args.command == "fuzz":
+        return _cmd_fuzz(args)
     if args.command == "version":
         from repro import __version__
 

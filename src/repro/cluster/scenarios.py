@@ -104,6 +104,11 @@ class ScenarioSpec:
     defaults:
         Declared ``(param, value)`` defaults; overrides outside this set
         are rejected, keeping sweep axes typo-safe.
+    compose:
+        For composed scenarios (built by :mod:`repro.cluster.compose`),
+        the resolved composition tree; ``None`` for base scenarios.  The
+        digest of a composed spec hashes this structure plus the digests
+        of every scenario it is built from, recursively.
     """
 
     name: str
@@ -111,6 +116,7 @@ class ScenarioSpec:
     models: str
     builder: Callable[..., SpeedModel]
     defaults: tuple[tuple[str, Any], ...] = ()
+    compose: Any = None
 
 
 _REGISTRY: dict[str, ScenarioSpec] = {}
@@ -147,14 +153,28 @@ def available_scenarios() -> tuple[str, ...]:
 
 
 def get_scenario(name: str) -> ScenarioSpec:
-    """Look up one scenario; ``KeyError`` lists the registry on a miss."""
+    """Look up one scenario; ``KeyError`` lists the registry on a miss.
+
+    Composition expressions (``overlay(rack,bursty)``,
+    ``mix(bursty,constant,weight=0.7)`` — see
+    :mod:`repro.cluster.compose`) resolve **on demand** without prior
+    registration, so composed names work anywhere a base name does — CLI
+    flags, sweep axes, and pool worker processes, which never see runtime
+    registrations.  Malformed or unknown expressions raise the same
+    registry-listing ``KeyError`` shape as a plain miss.
+    """
     try:
         return _REGISTRY[name]
     except KeyError:
-        raise KeyError(
-            f"unknown scenario {name!r}; available: "
-            f"{', '.join(available_scenarios())}"
-        ) from None
+        pass
+    if "(" in name:
+        from repro.cluster.compose import composed_spec
+
+        return composed_spec(name)
+    raise KeyError(
+        f"unknown scenario {name!r}; available: "
+        f"{', '.join(available_scenarios())}"
+    )
 
 
 def scenario_speed_model(
@@ -190,24 +210,49 @@ def scenario_batch(
     )
 
 
+def _spec_digest(spec: ScenarioSpec) -> str:
+    """Content hash of one *base* spec: name, defaults, builder source.
+
+    Falls back to the builder's ``repr`` when its source is not
+    retrievable, so runtime registrations still perturb the digest.
+    """
+    digest = hashlib.sha256()
+    digest.update(spec.name.encode())
+    digest.update(repr(spec.defaults).encode())
+    try:
+        source = inspect.getsource(spec.builder)
+    except (OSError, TypeError):
+        source = repr(spec.builder)
+    digest.update(source.encode())
+    return digest.hexdigest()
+
+
 def registry_digest() -> str:
     """Content hash of the scenario registry (a sweep-cache key input).
 
-    Covers names, defaults, and each builder's source (falling back to its
-    ``repr`` for builders without retrievable source), so registering or
-    editing a scenario at runtime invalidates cached sweep cells even when
-    the builder lives outside the ``repro`` package tree.
+    Base scenarios hash names, defaults, and builder source (falling back
+    to the builder's ``repr`` for builders without retrievable source), so
+    registering or editing a scenario at runtime invalidates cached sweep
+    cells even when the builder lives outside the ``repro`` package tree.
+    Composed scenarios (:mod:`repro.cluster.compose`) fold
+    **compositionally**: their digest hashes the combinator structure plus
+    the digests of every operand, recursively — editing a base scenario
+    therefore re-keys every registered composition built on it.
     """
     digest = hashlib.sha256()
+    composed = [
+        spec for spec in _REGISTRY.values() if spec.compose is not None
+    ]
+    if composed:
+        from repro.cluster.compose import _leaf_digest, node_digest
+
     for name in available_scenarios():
         spec = _REGISTRY[name]
-        digest.update(name.encode())
-        digest.update(repr(spec.defaults).encode())
-        try:
-            source = inspect.getsource(spec.builder)
-        except (OSError, TypeError):
-            source = repr(spec.builder)
-        digest.update(source.encode())
+        if spec.compose is not None:
+            digest.update(name.encode())
+            digest.update(node_digest(spec.compose, _leaf_digest).encode())
+        else:
+            digest.update(_spec_digest(spec).encode())
     return digest.hexdigest()
 
 

@@ -21,6 +21,7 @@ from repro.experiments import (
     scen_latency,
     scen_repair,
     sec61_prediction,
+    tournament,
 )
 from repro.experiments.harness import ExperimentResult
 
@@ -40,6 +41,7 @@ ALL_EXPERIMENTS = {
     "scenlat": scen_latency.run,
     "scenrepair": scen_repair.run,
     "sec61": sec61_prediction.run,
+    "tournament": tournament.run,
 }
 
 __all__ = ["ALL_EXPERIMENTS", "ExperimentResult"]

@@ -1,0 +1,103 @@
+"""Reproducibility and validity of the seeded scenario fuzzer.
+
+The contract: scenario ``(seed, index)`` is a pure function — same pair,
+same expression string, in any process and any draw order — and every
+generated expression resolves and builds a positive-speed model.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.cluster.fuzz import LEAF_NAMES, generate_scenario, generate_scenarios
+from repro.cluster.compose import parse_scenario_name
+from repro.cluster.scenarios import available_scenarios, scenario_speed_model
+
+REPO_SRC = Path(__file__).resolve().parent.parent.parent / "src"
+
+SEED, COUNT = 7, 16
+
+
+class TestReproducibility:
+    def test_same_pair_same_scenario(self):
+        assert generate_scenario(SEED, 3) == generate_scenario(SEED, 3)
+
+    def test_index_draws_are_order_independent(self):
+        # Drawing index 5 first (or alone) yields the same expression as
+        # drawing 0..5 in sequence: each index gets its own generator.
+        alone = generate_scenario(SEED, 5)
+        in_sequence = [generate_scenario(SEED, i) for i in range(6)][5]
+        assert alone == in_sequence
+
+    def test_population_stable_across_calls(self):
+        assert generate_scenarios(SEED, COUNT) == generate_scenarios(SEED, COUNT)
+
+    def test_prefix_property(self):
+        # A smaller population is a strict prefix of a larger one, so
+        # growing --scenarios only appends work.
+        small = generate_scenarios(SEED, 4)
+        assert generate_scenarios(SEED, COUNT)[:4] == small
+
+    def test_distinct_seeds_distinct_populations(self):
+        assert generate_scenarios(SEED, COUNT) != generate_scenarios(
+            SEED + 1, COUNT
+        )
+
+    def test_stable_across_process_restarts(self):
+        script = (
+            "from repro.cluster.fuzz import generate_scenarios\n"
+            f"print('\\n'.join(generate_scenarios({SEED}, {COUNT})))\n"
+        )
+        env = {**os.environ, "PYTHONPATH": str(REPO_SRC)}
+        out = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+        ).stdout.splitlines()
+        assert tuple(out) == generate_scenarios(SEED, COUNT)
+
+
+class TestValidity:
+    @pytest.mark.parametrize("index", range(8))
+    def test_generated_scenarios_build_positive_speed_models(self, index):
+        name = generate_scenario(SEED, index)
+        model = scenario_speed_model(name, 12, seed=1)
+        for iteration in range(6):
+            speeds = model.speeds(iteration)
+            assert speeds.shape == (12,)
+            assert (speeds > 0).all()
+
+    def test_generated_names_are_canonical(self):
+        for name in generate_scenarios(SEED, COUNT):
+            assert parse_scenario_name(name).canonical == name
+
+    def test_population_is_deduplicated(self):
+        names = generate_scenarios(SEED, COUNT)
+        assert len(set(names)) == COUNT
+
+    def test_leaf_pool_scenarios_are_registered(self):
+        assert set(LEAF_NAMES) <= set(available_scenarios())
+        # `controlled` is sequential-only (no random access) and must stay
+        # out of the pool: sweep cells interleave reads.
+        assert "controlled" not in LEAF_NAMES
+
+    def test_population_varies_structure(self):
+        # A healthy population mixes plain leaves and compositions; with
+        # 16 draws at the default compose probability both kinds appear.
+        names = generate_scenarios(SEED, COUNT)
+        heads = {name.split("(", 1)[0] for name in names}
+        assert heads & set(LEAF_NAMES), "no leaf draws"
+        assert heads - set(LEAF_NAMES), "no composition draws"
+
+    def test_count_must_be_positive(self):
+        with pytest.raises(ValueError, match="count"):
+            generate_scenarios(SEED, 0)
+
+    def test_index_must_be_non_negative(self):
+        with pytest.raises(ValueError, match="index"):
+            generate_scenario(SEED, -1)

@@ -7,17 +7,25 @@ The load-bearing guarantees of the tentpole refactor:
   are **bitwise-equal** — sharding a cell's trials and merging the pieces
   reproduces the monolithic evaluation exactly;
 * a sweep killed mid-run and then resumed produces results identical to an
-  uninterrupted run, computing only the missing shards.
+  uninterrupted run, computing only the missing shards;
+* the same merge guarantee holds as a **property** over random draws from
+  the scenario fuzzer: any generated (possibly composed) scenario, any
+  policy, any shard size — sharded evaluation through ``compile_plan``
+  merges bitwise-equal to the monolithic cell.
 """
+
+import random
 
 import pytest
 
+from repro.cluster.fuzz import generate_scenario
 from repro.engine import (
     ExecutionEngine,
     NothingToResumeError,
     RunStore,
     SweepSpec,
 )
+from repro.engine.plan import compile_plan, merge_shard_values
 from repro.experiments.matrix import _cell as matrix_cell
 from repro.experiments.sweep import SweepRunner
 
@@ -65,6 +73,51 @@ class TestShardMergeDeterminism:
         for key, value in small.values.items():
             full = monolithic[key]
             assert value == {k: v[:3] for k, v in full.items()}
+
+
+class TestFuzzedShardMergeProperty:
+    """Seeded property test: the shard-merge guarantee over random draws.
+
+    Each case draws a policy, a fuzzer-generated scenario (frequently a
+    composition expression — exercising on-demand composed-name resolution
+    inside shard evaluation), a trial count, a base seed, and a shard
+    size, then checks that evaluating the ``compile_plan`` shards and
+    merging is bitwise-equal to the monolithic cell.  Draws are pure
+    ``random.Random(case)`` / fuzzer ``(seed, index)`` functions, so a
+    failure reproduces from its case id alone.
+    """
+
+    #: Fuzzer population the scenario draws come from (distinct from any
+    #: tournament seed, so these tests do not share cache keys with it).
+    POPULATION_SEED = 31
+
+    @pytest.mark.parametrize("case", range(8))
+    def test_random_draws_merge_bitwise_equal(self, case):
+        rng = random.Random(1_000 + case)
+        policy = rng.choice(POLICIES)
+        scenario = generate_scenario(self.POPULATION_SEED, rng.randrange(64))
+        trials = rng.randrange(2, 7)
+        spec = SweepSpec(
+            name=f"fuzzed-merge-{case}",
+            cell=matrix_cell,
+            axes=(("policy", (policy,)), ("scenario", (scenario,))),
+            trials=trials,
+            base_seed=rng.randrange(10_000),
+            quick=True,
+        )
+        (params,) = spec.points()
+        monolithic = matrix_cell(params, spec.context())
+
+        shard_size = rng.randrange(1, trials + 1)
+        plan = compile_plan(spec, shard_size=shard_size)
+        merged = merge_shard_values(
+            [matrix_cell(shard.params, shard.ctx) for shard in plan.shards],
+            [shard.trials for shard in plan.shards],
+        )
+        assert merged == monolithic, (
+            f"case {case}: policy={policy!r} scenario={scenario!r} "
+            f"trials={trials} shard_size={shard_size}"
+        )
 
 
 # --- resume ---------------------------------------------------------------

@@ -19,7 +19,7 @@ class TestRegistry:
         expected = {
             "fig01", "fig02", "fig03", "fig06", "fig07", "fig08",
             "fig09", "fig10", "fig11", "fig12", "fig13", "matrix",
-            "sec61", "scenlat", "scenrepair",
+            "sec61", "scenlat", "scenrepair", "tournament",
         }
         assert set(ALL_EXPERIMENTS) == expected
 

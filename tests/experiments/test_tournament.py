@@ -1,0 +1,140 @@
+"""Tournament experiment: determinism, table shapes, and verdict sanity."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import ALL_EXPERIMENTS
+from repro.experiments.tournament import run_tournament
+
+POLICIES = ("mds", "s2c2-oracle", "uncoded")
+
+
+@pytest.fixture(scope="module")
+def small():
+    return run_tournament(
+        quick=True, seed=7, trials=2, policies=POLICIES, n_scenarios=3
+    )
+
+
+class TestShapes:
+    def test_summary_covers_every_policy(self, small):
+        assert small.summary.labels() == list(POLICIES)
+
+    def test_wins_sum_to_population_size(self, small):
+        assert small.summary.column("wins").sum() == len(small.scenarios)
+
+    def test_winners_table_names_every_scenario(self, small):
+        assert small.winners.labels() == list(small.scenarios)
+        for scenario in small.scenarios:
+            winner = next(
+                r[1] for r in small.winners.rows if r[0] == scenario
+            )
+            assert winner in POLICIES
+
+    def test_population_comes_from_the_fuzzer(self, small):
+        from repro.cluster.fuzz import generate_scenarios
+
+        assert small.scenarios == generate_scenarios(7, 3)
+        assert small.population_seed == 7
+
+    def test_tables_print(self, small):
+        for table in small.tables():
+            assert table.format_table()
+
+
+class TestVerdicts:
+    def test_baseline_ratio_is_exactly_one(self, small):
+        assert small.summary.value("mds", "mean-vs") == 1.0
+        assert small.summary.value("mds", "worst-vs") == 1.0
+
+    def test_worst_bounds_mean(self, small):
+        for policy in POLICIES:
+            assert small.summary.value(
+                policy, "worst-vs"
+            ) >= small.summary.value(policy, "mean-vs")
+            assert small.summary.value(
+                policy, "worst-wasted"
+            ) >= small.summary.value(policy, "mean-wasted")
+
+    def test_conformal_band_brackets_the_mean(self, small):
+        for policy in POLICIES:
+            mean = small.summary.value(policy, "mean-vs")
+            assert small.summary.value(policy, "vs-lo") <= mean
+            assert small.summary.value(policy, "vs-hi") >= mean
+
+    def test_pareto_members_are_mutually_nondominated(self, small):
+        rows = [
+            (r[0], small.pareto.value(r[0], "mean-vs"),
+             small.pareto.value(r[0], "mean-wasted"))
+            for r in small.pareto.rows
+        ]
+        assert rows, "frontier can never be empty"
+        for name_i, vs_i, waste_i in rows:
+            for name_j, vs_j, waste_j in rows:
+                if name_i == name_j:
+                    continue
+                dominates = (
+                    vs_j <= vs_i
+                    and waste_j <= waste_i
+                    and (vs_j < vs_i or waste_j < waste_i)
+                )
+                assert not dominates, f"{name_j} dominates {name_i}"
+
+    def test_oracle_beats_mds_on_average(self, small):
+        # The perfect-information forecaster is the lower bound of the
+        # S2C2 family; across any population it undercuts conventional
+        # coded computation on mean latency.
+        assert small.summary.value("s2c2-oracle", "mean-vs") < 1.0
+
+
+class TestDeterminism:
+    def test_repeat_runs_render_identical_tables(self, small):
+        again = run_tournament(
+            quick=True, seed=7, trials=2, policies=POLICIES, n_scenarios=3
+        )
+        for first, second in zip(small.tables(), again.tables()):
+            assert first.format_table() == second.format_table()
+
+
+class TestArguments:
+    def test_unknown_policy_lists_registry(self):
+        with pytest.raises(KeyError, match="unknown policy"):
+            run_tournament(policies=("no-such-policy",), n_scenarios=2)
+
+    def test_unknown_extra_scenario_lists_registry(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            run_tournament(
+                policies=POLICIES,
+                n_scenarios=2,
+                extra_scenarios=("no-such-scenario",),
+            )
+
+    def test_extra_scenarios_append_to_the_population(self):
+        result = run_tournament(
+            quick=True,
+            seed=7,
+            trials=1,
+            policies=("mds", "s2c2-oracle"),
+            n_scenarios=2,
+            extra_scenarios=("overlay(rack,bursty)",),
+        )
+        assert result.scenarios[-1] == "overlay(rack,bursty)"
+        assert len(result.scenarios) == 3
+
+    def test_population_seed_decouples_from_trial_seed(self):
+        from repro.cluster.fuzz import generate_scenarios
+
+        result = run_tournament(
+            quick=True,
+            seed=0,
+            trials=1,
+            policies=("mds", "s2c2-oracle"),
+            n_scenarios=2,
+            population_seed=11,
+        )
+        assert result.scenarios == generate_scenarios(11, 2)
+
+    def test_registry_entry_returns_the_summary(self):
+        table = ALL_EXPERIMENTS["tournament"](quick=True, trials=1)
+        assert table.name == "tournament"
+        assert "wins" in table.columns

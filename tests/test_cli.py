@@ -13,7 +13,10 @@ class TestCli:
     def test_list(self, capsys):
         assert main(["list"]) == 0
         out = capsys.readouterr().out
-        for name in ("fig01", "fig13", "sec61", "scenlat", "scenrepair", "matrix"):
+        for name in (
+            "fig01", "fig13", "sec61", "scenlat", "scenrepair", "matrix",
+            "tournament",
+        ):
             assert name in out
 
     def test_scenarios_lists_registry(self, capsys):
@@ -85,15 +88,130 @@ class TestCli:
         assert "regime" in capsys.readouterr().out
 
 
+class TestComposedScenarioCli:
+    """Composed scenario expressions through the CLI surfaces.
+
+    The registry-miss contract extends to expression names: unknown
+    combinators, malformed expressions, and unknown leaves all exit 2
+    with the available registry in the error, while valid expressions
+    work anywhere a base scenario name does.
+    """
+
+    def test_scenarios_subcommand_resolves_composed_name(self, capsys):
+        assert main(["scenarios", "overlay(rack,bursty)"]) == 0
+        out = capsys.readouterr().out
+        assert "overlay(rack,bursty)" in out
+        assert "composed" in out
+
+    def test_matrix_accepts_composed_scenario(self, capsys):
+        argv = [
+            "matrix", "--quick", "--no-cache", "--summary-only",
+            "--policy", "mds", "--policy", "s2c2-oracle",
+            "--scenario", "mix(bursty,constant,weight=0.7)",
+        ]
+        assert main(argv) == 0
+        assert "mix(bursty,constant,weight=0.7)" in capsys.readouterr().out
+
+    def test_unknown_combinator_exits_2_listing_combinators(self, capsys):
+        argv = ["matrix", "--scenario", "nope(bursty)"]
+        assert main(argv) == 2
+        captured = capsys.readouterr()
+        assert captured.out == ""  # nothing half-printed
+        assert "unknown combinator" in captured.err
+        for name in ("concat", "mix", "overlay", "scale", "time_shift"):
+            assert name in captured.err
+
+    @pytest.mark.parametrize(
+        "expression",
+        ["mix(bursty)", "bursty(zz=1)", "concat(bursty", "overlay(rack,nope)"],
+    )
+    def test_malformed_expression_exits_2_listing_registry(
+        self, capsys, expression
+    ):
+        assert main(["matrix", "--scenario", expression]) == 2
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "error:" in captured.err
+        assert "available:" in captured.err
+
+
+class TestFuzzCli:
+    """The `repro fuzz` contract mirrors `repro matrix`."""
+
+    def test_runs_tiny_tournament(self, capsys):
+        argv = [
+            "fuzz", "--quick", "--no-cache", "--scenarios", "2",
+            "--policy", "mds", "--policy", "s2c2-oracle", "--seed", "7",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "tournament" in out
+        assert "tournament-pareto" in out
+
+    def test_summary_only_skips_winners_table(self, capsys):
+        argv = [
+            "fuzz", "--quick", "--no-cache", "--scenarios", "2",
+            "--policy", "mds", "--policy", "s2c2-oracle", "--summary-only",
+        ]
+        assert main(argv) == 0
+        assert "tournament-winners" not in capsys.readouterr().out
+
+    def test_unknown_policy_exits_2_listing_registry(self, capsys):
+        assert main(["fuzz", "--policy", "no-such-policy"]) == 2
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "unknown policy" in captured.err
+        assert "mds" in captured.err and "s2c2-oracle" in captured.err
+
+    def test_unknown_scenario_exits_2_listing_registry(self, capsys):
+        assert main(["fuzz", "--scenario", "no-such-scenario"]) == 2
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "unknown scenario" in captured.err
+        assert "spot" in captured.err and "markov" in captured.err
+
+    def test_unknown_combinator_exits_2_listing_combinators(self, capsys):
+        assert main(["fuzz", "--scenario", "nope(bursty)"]) == 2
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "unknown combinator" in captured.err
+        assert "overlay" in captured.err
+
+    def test_extra_scenario_joins_the_population(self, capsys):
+        argv = [
+            "fuzz", "--quick", "--no-cache", "--scenarios", "2",
+            "--policy", "mds", "--policy", "s2c2-oracle",
+            "--scenario", "overlay(rack,bursty)",
+        ]
+        assert main(argv) == 0
+        assert "overlay(rack,bursty)" in capsys.readouterr().out
+
+    def test_bad_scenarios_value_exits_2_naming_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fuzz", "--scenarios", "0"])
+        assert excinfo.value.code == 2
+        assert "--scenarios" in capsys.readouterr().err
+
+    def test_help_documents_population_flags(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fuzz", "--help"])
+        out = capsys.readouterr().out
+        for flag in (
+            "--scenarios", "--population-seed", "--policy", "--scenario",
+            "--summary-only", "--trials", "--resume", "--seed",
+        ):
+            assert flag in out
+
+
 class TestCliValidation:
     """Bad --jobs/--trials/--executor values: exit 2, message names the flag.
 
     The contract is uniform across subcommands (shared types in
     `repro.engine.options`), so one subcommand per flag is representative;
-    `matrix` is exercised once to pin the sharing.
+    `matrix` and `fuzz` are exercised once to pin the sharing.
     """
 
-    @pytest.mark.parametrize("command", ["experiments", "matrix"])
+    @pytest.mark.parametrize("command", ["experiments", "matrix", "fuzz"])
     @pytest.mark.parametrize(
         "flag,value",
         [("--jobs", "0"), ("--trials", "-3"), ("--trials", "many"),

@@ -47,6 +47,7 @@ def test_required_docs_exist():
         "docs/policies.md",
         "docs/api.md",
         "docs/results.md",
+        "docs/tournament.md",
     ):
         assert (REPO_ROOT / path).exists(), path
 
@@ -87,6 +88,25 @@ def test_results_check_flag_detects_staleness(tmp_path, monkeypatch, capsys):
     assert generator.main(["--check"]) == 0
 
 
+def test_tournament_report_is_current():
+    # docs/tournament.md is generated from the fixed-seed quick-scale fuzz
+    # tournament (policy registry × generated scenario population);
+    # tier-1 fails when it drifts from what the current sources simulate.
+    # Regenerate with: PYTHONPATH=src python scripts/gen_tournament_docs.py
+    generator = _load_script("gen_tournament_docs")
+    assert (REPO_ROOT / "docs" / "tournament.md").read_text() == generator.build()
+
+
+def test_tournament_check_flag_detects_staleness(tmp_path, monkeypatch, capsys):
+    generator = _load_script("gen_tournament_docs")
+    stale = tmp_path / "tournament.md"
+    stale.write_text("# stale\n")
+    monkeypatch.setattr(generator, "TOURNAMENT_PATH", stale)
+    assert generator.main(["--check"]) == 1
+    assert generator.main([]) == 0  # writes the fresh file
+    assert generator.main(["--check"]) == 0
+
+
 def test_checker_flags_broken_links_and_matrix_names(tmp_path):
     checker = _load_checker()
     bad = tmp_path / "bad.md"
@@ -104,6 +124,29 @@ def test_checker_flags_broken_links_and_matrix_names(tmp_path):
         "# Policy pages\n\n### policy: mds\n\n"
         "see [pages](#policy-mds) and [self](good.md#policy-pages)\n"
         "run `python -m repro matrix --policy mds --scenario spot`\n"
+    )
+    assert checker.check_file(good) == []
+
+
+def test_checker_validates_fuzz_lines_and_composed_expressions(tmp_path):
+    checker = _load_checker()
+    bad = tmp_path / "bad.md"
+    bad.write_text(
+        "run `python -m repro fuzz --policy no-such-policy "
+        "--scenario 'nope(bursty)'`\n"
+        "compose with `overlay(rack,no-such-leaf)` or "
+        "`mix(bursty,constant,w=0.5)`\n"
+    )
+    errors = checker.check_file(bad)
+    assert len(errors) == 4
+
+    good = tmp_path / "good.md"
+    good.write_text(
+        "run `python -m repro fuzz --scenarios 8 --trials 2 --policy mds "
+        "--scenario 'overlay(rack,bursty)'`\n"
+        "compose with `mix(bursty,constant,weight=0.7)` or "
+        "`concat(spot,traces(preset=stable),segment=16)`;\n"
+        "non-scenario calls like `run(quick=True)` are left alone\n"
     )
     assert checker.check_file(good) == []
 
