@@ -3,7 +3,7 @@
 Usage:  python scripts/bench_sweep.py [--trials N] [--jobs N] [--executor NAME]
             [--quick/--full] [--scenario NAME] [--predictor-trials N]
             [--matrix] [--engine] [--engine-trials N] [--engine-jobs N]
-            [--append-json PATH]
+            [--events] [--tag KEY=VALUE] [--append-json PATH]
 
 Measures one representative controlled-cluster figure (Fig 6: 5 strategies
 × 4 straggler counts), one large-cluster figure (Fig 13: 50 workers), and
@@ -39,6 +39,13 @@ spread over the pool).  Shard merges are asserted equal to the monolithic
 value; the speedup is pure scheduling-granularity win and scales with
 physical cores (on a single-core machine the two are expected to tie).
 
+The event-backend micro-bench (``--events``) times the same policy ×
+scenario cells on the closed-form core and on the discrete-event engine
+(``--backend event`` — explicit links, per-trial event loops), including a
+network-degraded scenario only the event backend can express.  The ratio
+is the price of event-level fidelity; the closed form stays the default
+everywhere for exactly this reason.
+
 The prediction-path micro-bench (``--predictor-trials``) drives the §6.2
 online LSTM forecasting loop — the prediction-in-the-loop side of every
 cloud experiment — through a homogeneous ``StackedPredictor`` twice: once
@@ -53,7 +60,11 @@ pure overhead.
 
 ``--append-json PATH`` appends one JSON line per run (timestamp, config,
 timings) — ``scripts/smoke.sh bench`` uses it to grow ``BENCH_SWEEP.json``
-so the performance trajectory is tracked across PRs.
+so the performance trajectory is tracked across PRs.  ``--tag KEY=VALUE``
+(repeatable) attaches free-form labels to that record; the pair splits on
+the *first* ``=`` only, so values may themselves contain ``=`` — composed
+scenario expressions like ``mix(bursty,constant,weight=0.7)`` survive
+verbatim.
 """
 
 from __future__ import annotations
@@ -304,6 +315,36 @@ def bench_matrix(quick: bool, trials: int, jobs: int) -> tuple[float, float, int
     return cold, warm, len(result.policies) * len(result.scenarios)
 
 
+def bench_event_backend(
+    quick: bool, trials: int, jobs: int
+) -> tuple[float, float, int]:
+    """Closed-form core vs discrete-event engine on the same cells.
+
+    Returns ``(closed_seconds, event_seconds, cells)``.  The grid pairs a
+    compute-only scenario (where the two backends are bitwise-equal, so
+    the delta is pure event-loop overhead) with a link-degraded one
+    (which only the event backend resolves differently).
+    """
+    from repro.experiments.matrix import run_matrix
+    from repro.experiments.sweep import SweepRunner
+
+    policies = ("mds", "timeout-repair")
+    scenarios = ("bursty", "netslow")
+    timings = {}
+    for backend in ("closed", "event"):
+        start = time.perf_counter()
+        run_matrix(
+            quick=quick,
+            trials=trials,
+            runner=SweepRunner(jobs=jobs),
+            policies=policies,
+            scenarios=scenarios,
+            backend=backend,
+        )
+        timings[backend] = time.perf_counter() - start
+    return timings["closed"], timings["event"], len(policies) * len(scenarios)
+
+
 def bench_predictor_path(quick: bool, trials: int) -> tuple[float, float, int]:
     """Online-forecasting bench: per-trial predictor loop vs batched stack.
 
@@ -354,7 +395,22 @@ def bench_predictor_path(quick: bool, trials: int) -> tuple[float, float, int]:
     return loop_s, batch_s, rounds
 
 
-def main() -> None:
+def tag_pair(text: str) -> tuple[str, str]:
+    """Argparse type for ``--tag``: ``KEY=VALUE``, split on the FIRST ``=``.
+
+    Splitting on the first ``=`` only keeps values containing ``=`` intact
+    — notably composed scenario expressions such as
+    ``scenario=mix(bursty,constant,weight=0.7)``.
+    """
+    key, sep, value = text.partition("=")
+    if not sep or not key:
+        raise argparse.ArgumentTypeError(
+            f"expected KEY=VALUE, got {text!r}"
+        )
+    return key, value
+
+
+def build_parser() -> argparse.ArgumentParser:
     # Shared argparse types: bad --trials/--jobs/--executor values exit 2
     # naming the flag, exactly like the `python -m repro` subcommands.
     from repro.engine.options import executor_name, positive_int
@@ -412,11 +468,32 @@ def main() -> None:
         help="pool width of the engine bench (default: 4)",
     )
     parser.add_argument(
+        "--events",
+        action="store_true",
+        help="also time the policy × scenario cells on the discrete-event "
+        "backend against the closed-form core",
+    )
+    parser.add_argument(
+        "--tag",
+        type=tag_pair,
+        action="append",
+        default=None,
+        metavar="KEY=VALUE",
+        help="attach a free-form label to the --append-json record "
+        "(repeatable; splits on the first '=' only, so values may "
+        "contain '=')",
+    )
+    parser.add_argument(
         "--append-json",
         default=None,
         metavar="PATH",
         help="append one JSON line with the timings to PATH",
     )
+    return parser
+
+
+def main() -> None:
+    parser = build_parser()
     args = parser.parse_args()
     from repro.cluster.scenarios import get_scenario
 
@@ -436,6 +513,8 @@ def main() -> None:
         # width keeps the BENCH_SWEEP.json trajectory interpretable.
         "cpus": os.cpu_count(),
     }
+    if args.tag:
+        record["tags"] = dict(args.tag)
 
     serial = bench_serial_sessions(quick, args.trials)
     print(f"fig06  serial sessions ({args.trials} trials): {serial:7.2f}s")
@@ -521,6 +600,24 @@ def main() -> None:
             "jobs": args.engine_jobs,
             "shards": shards,
             "executor": args.executor,
+        }
+
+    if args.events:
+        closed_s, event_s, cells = bench_event_backend(
+            quick, args.trials, args.jobs
+        )
+        print(
+            f"events closed core   ({cells} policy×scenario cells, "
+            f"{args.trials} trials): {closed_s:7.2f}s"
+        )
+        print(
+            f"events event engine:                      {event_s:7.2f}s   "
+            f"({event_s / closed_s:.1f}x slower)"
+        )
+        record["events"] = {
+            "closed": closed_s,
+            "event": event_s,
+            "cells": cells,
         }
 
     if args.append_json:

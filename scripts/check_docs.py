@@ -24,8 +24,9 @@ Scans README.md and docs/*.md (by default) for
 * every ``--flag`` on a ``python -m repro <subcommand>`` example line —
   each must be accepted by that subcommand's argument parser (so docs
   can't advertise ``--executor`` / ``--resume`` spellings the CLI does
-  not take), and every ``--executor NAME`` value must be a registered
-  executor backend;
+  not take), every ``--executor NAME`` value must be a registered
+  executor backend, and every ``--backend NAME`` value must be a
+  registered simulator backend;
 * relative markdown links (``[text](other.md)``, ``[text](#anchor)``,
   ``[text](other.md#anchor)``) — the target file must exist next to the
   referring document and the anchor must match one of its headings
@@ -61,6 +62,7 @@ SCENARIO_FLAG = re.compile(r"--scenario (?:'([^']+)'|([a-z0-9\-]+))")
 COMPOSED_EXPR = re.compile(r"`([a-z_][a-z0-9_\-]*\([^`\s]*\))`")
 CLI_FLAG = re.compile(r"(--[a-z][a-z0-9\-]*)")
 EXECUTOR_FLAG = re.compile(r"--executor[= ]([A-Za-z0-9_\-]+)")
+BACKEND_FLAG = re.compile(r"--backend[= ]([A-Za-z0-9_\-]+)")
 MD_LINK = re.compile(r"(?<!!)\[[^\]\[]*\]\(([^()\s]+)\)")
 HEADING = re.compile(r"^#{1,6}\s+(.+?)\s*$", re.MULTILINE)
 
@@ -179,6 +181,7 @@ def check_file(path: Path) -> list[str]:
                 errors.append(
                     f"{path.name}: unresolvable scenario expression `{expr}`"
                 )
+    from repro.cluster.events import available_backends
     from repro.engine.executors import available_executors
 
     cli_options = _cli_options()
@@ -194,6 +197,9 @@ def check_file(path: Path) -> list[str]:
         for name in EXECUTOR_FLAG.findall(rest):
             if name not in available_executors() and name != "NAME":
                 errors.append(f"{path.name}: unknown executor `{name}`")
+        for name in BACKEND_FLAG.findall(rest):
+            if name not in available_backends() and name != "NAME":
+                errors.append(f"{path.name}: unknown backend `{name}`")
     for target in sorted(set(MD_LINK.findall(text))):
         error = _check_link(path, target)
         if error:

@@ -45,6 +45,12 @@ python -m repro experiments scenrepair --quick --trials 2 --jobs 2 --cache-dir "
 echo "== policy x scenario matrix (every policy, every scenario) =="
 python -m repro matrix --quick --trials 2 --jobs 2 --summary-only --cache-dir "$CACHE"
 
+echo "== event-backend matrix (discrete-event core, network scenarios) =="
+python -m repro matrix --quick --trials 2 --jobs 2 --backend event \
+    --policy mds --policy timeout-repair \
+    --scenario netslow --scenario rackcongest \
+    --summary-only --cache-dir "$CACHE"
+
 echo "== fixed-seed fuzz tournament (generated scenarios, composed names) =="
 python -m repro fuzz --quick --scenarios 8 --trials 2 --jobs 2 --seed 7 \
     --summary-only --cache-dir "$CACHE"
@@ -53,12 +59,14 @@ if [ "$1" = "bench" ]; then
     echo "== bench (appending to BENCH_SWEEP.json) =="
     # --predictor-trials drives the prediction-path micro-bench (per-trial
     # forecasting loop vs the batched predictor stack), --matrix the
-    # policy x scenario grid, and --engine the fat-cell scheduling bench
-    # (cell-granular vs trial-sharded at --engine-jobs width), so
-    # BENCH_SWEEP.json tracks the prediction, matrix, and engine series
-    # alongside the simulation ones.
+    # policy x scenario grid, --engine the fat-cell scheduling bench
+    # (cell-granular vs trial-sharded at --engine-jobs width), and
+    # --events the event-backend overhead bench (closed form vs the
+    # discrete-event core on identical cells), so BENCH_SWEEP.json tracks
+    # the prediction, matrix, engine, and event series alongside the
+    # simulation ones.
     python scripts/bench_sweep.py --trials 4 --jobs 2 --predictor-trials 64 \
-        --matrix --engine --append-json BENCH_SWEEP.json
+        --matrix --engine --events --append-json BENCH_SWEEP.json
 fi
 
 echo "smoke OK"

@@ -29,15 +29,17 @@ Commands
     ``scenarios``.
 ``matrix [--quick] [--trials N] [--jobs N] [--executor NAME]
 [--shard-size N] [--resume] [--seed S] [--policy P ...] [--scenario S ...]
-[--summary-only] [--no-cache] [--cache-dir PATH]``
+[--backend NAME] [--summary-only] [--no-cache] [--cache-dir PATH]``
     Evaluate the policy × scenario matrix on the batched engines: one
     table per scenario plus the normalised-latency and waste summary
     grids.  ``--policy`` / ``--scenario`` filter the registries (repeat
     the flag); an unknown name exits 2 listing the registry.
+    ``--backend`` selects the simulator core (``closed`` / ``event`` —
+    the discrete-event engine with explicit network links).
 ``fuzz [--scenarios N] [--population-seed S] [--policy P ...]
-[--scenario S ...] [--summary-only] [--quick] [--trials N] [--jobs N]
-[--executor NAME] [--shard-size N] [--resume] [--seed S] [--no-cache]
-[--cache-dir PATH]``
+[--scenario S ...] [--backend NAME] [--summary-only] [--quick]
+[--trials N] [--jobs N] [--executor NAME] [--shard-size N] [--resume]
+[--seed S] [--no-cache] [--cache-dir PATH]``
     Policy tournament over ``--scenarios N`` fuzzer-generated straggler
     scenarios (see :mod:`repro.cluster.fuzz`): per-policy win counts,
     worst-case latency/waste, conformal bands, and the latency-vs-waste
@@ -155,6 +157,7 @@ def _cmd_matrix(args: argparse.Namespace) -> int:
             runner=runner,
             policies=tuple(args.policy) if args.policy else None,
             scenarios=tuple(args.scenario) if args.scenario else None,
+            backend=args.backend,
         )
     except NothingToResumeError as error:
         print(f"error: --resume: {error}", file=sys.stderr)
@@ -202,6 +205,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
             n_scenarios=args.scenarios,
             population_seed=args.population_seed,
             extra_scenarios=tuple(args.scenario) if args.scenario else (),
+            backend=args.backend,
         )
     except NothingToResumeError as error:
         print(f"error: --resume: {error}", file=sys.stderr)
@@ -329,6 +333,16 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="NAME",
         help="restrict to this scenario (repeatable; default: whole registry)",
     )
+    from repro.engine.options import backend_name
+
+    mat_p.add_argument(
+        "--backend",
+        type=backend_name,
+        default="closed",
+        metavar="NAME",
+        help="simulator core: closed (analytic, default) or event "
+        "(discrete-event engine with explicit network links)",
+    )
     mat_p.add_argument(
         "--summary-only",
         action="store_true",
@@ -371,6 +385,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="NAME",
         help="append this scenario to the generated population (repeatable; "
         "accepts composition expressions like 'overlay(rack,bursty)')",
+    )
+    fuzz_p.add_argument(
+        "--backend",
+        type=backend_name,
+        default="closed",
+        metavar="NAME",
+        help="simulator core: closed (analytic, default) or event "
+        "(discrete-event engine with explicit network links)",
     )
     fuzz_p.add_argument(
         "--summary-only",

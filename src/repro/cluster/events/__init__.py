@@ -1,0 +1,42 @@
+"""Discrete-event cluster simulator (the ``event`` backend).
+
+The package realises one coded iteration as a timeline of scheduled
+events over explicit network links — see :mod:`repro.cluster.events.sim`
+for the equivalence contract with the closed-form core.
+"""
+
+from repro.cluster.events.factors import link_factors_batch, link_factors_of
+from repro.cluster.events.loop import Event, EventLoop
+from repro.cluster.events.sim import (
+    EventConfig,
+    EventDrivenIterationSim,
+    EventTrace,
+)
+from repro.cluster.events.topology import Link, Topology
+
+__all__ = [
+    "Event",
+    "EventConfig",
+    "EventDrivenIterationSim",
+    "EventLoop",
+    "EventTrace",
+    "Link",
+    "Topology",
+    "available_backends",
+    "check_backend",
+    "link_factors_batch",
+    "link_factors_of",
+]
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names accepted wherever a simulator backend is selectable."""
+    return ("closed", "event")
+
+
+def check_backend(name: str) -> str:
+    """Validate a backend name, returning it; raise ``ValueError`` otherwise."""
+    if name not in available_backends():
+        known = ", ".join(available_backends())
+        raise ValueError(f"unknown backend {name!r} (known: {known})")
+    return name

@@ -1,0 +1,141 @@
+"""Network links and rack topology for the event-driven backend.
+
+Links are FIFO store-and-forward pipes with the same latency/bandwidth
+parameters as :class:`~repro.cluster.network.NetworkModel`.  A message
+transmitted at ``start`` departs as soon as the link is free, occupies it
+for ``latency + nbytes / (bandwidth · factor)``, and arrives when that
+duration elapses — so an uncontended transmission at factor 1 arrives at
+exactly ``start + NetworkModel.transfer_time(nbytes)``, *bitwise* (the
+identities ``bandwidth · 1.0 == bandwidth`` and ``x + 0.0 == x`` hold in
+IEEE 754), which is the bridge between the event backend and the
+closed-form core.
+
+The default :class:`Topology` gives every worker a dedicated duplex pair
+(one downlink master→worker, one uplink worker→master): no contention, so
+the closed-form timelines are reproduced exactly.  With ``rack_size`` set,
+workers are grouped into contiguous racks whose traffic additionally
+crosses a shared top-of-rack uplink/downlink pair — result replies, repair
+requests, and repair replies then *share* those links FIFO, which is the
+communication pressure the closed form structurally cannot express.
+
+Every transmission is logged per link (departure, byte count), so the
+byte-conservation property suite can audit exactly what crossed each link.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.network import NetworkModel
+
+__all__ = ["Link", "Topology"]
+
+
+@dataclass
+class Link:
+    """One FIFO link: reserve-at-transmit with full occupancy accounting."""
+
+    name: str
+    latency: float
+    bandwidth: float
+    free_at: float = 0.0
+    bytes_carried: float = 0.0
+    #: Transmission log: ``(depart_time, nbytes)`` per message, in order.
+    log: list[tuple[float, float]] = field(default_factory=list)
+
+    def transmit(self, start: float, nbytes: float, factor: float = 1.0) -> float:
+        """Send ``nbytes`` at ``start``; return the arrival time.
+
+        ``factor`` scales the effective bandwidth (link-level degradation;
+        1.0 is the undegraded bitwise-exact path).  The link is occupied
+        until the arrival, so later messages queue FIFO behind this one.
+        """
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        if not factor > 0:
+            raise ValueError(f"link factor must be > 0, got {factor}")
+        depart = start if self.free_at <= start else self.free_at
+        duration = self.latency + nbytes / (self.bandwidth * factor)
+        arrive = depart + duration
+        self.free_at = arrive
+        self.bytes_carried += nbytes
+        self.log.append((depart, nbytes))
+        return arrive
+
+    @property
+    def message_count(self) -> int:
+        return len(self.log)
+
+
+@dataclass
+class Topology:
+    """Master + ``n_workers`` nodes wired with duplex links, optionally racked.
+
+    ``rack_size`` groups workers ``[0..rack_size)``, ``[rack_size..)``, …
+    into racks; each rack adds a shared ToR link pair (bandwidth scaled by
+    ``rack_factor``) that every message to/from the rack also crosses.
+    ``rack_size=None`` (default) is the flat, contention-free topology the
+    equivalence suite runs on.
+    """
+
+    n_workers: int
+    network: NetworkModel
+    rack_size: int | None = None
+    rack_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.n_workers <= 0:
+            raise ValueError("n_workers must be positive")
+        if self.rack_size is not None and self.rack_size <= 0:
+            raise ValueError("rack_size must be positive when set")
+        if not self.rack_factor > 0:
+            raise ValueError("rack_factor must be > 0")
+        latency, bandwidth = self.network.latency, self.network.bandwidth
+        self.down = [
+            Link(f"down[{w}]", latency, bandwidth) for w in range(self.n_workers)
+        ]
+        self.up = [
+            Link(f"up[{w}]", latency, bandwidth) for w in range(self.n_workers)
+        ]
+        self.rack_down: list[Link] = []
+        self.rack_up: list[Link] = []
+        if self.rack_size is not None:
+            n_racks = (self.n_workers + self.rack_size - 1) // self.rack_size
+            # ToR links carry no extra hop latency (the per-worker links
+            # already pay it); they model shared-bandwidth serialisation.
+            self.rack_down = [
+                Link(f"rack_down[{r}]", 0.0, bandwidth * self.rack_factor)
+                for r in range(n_racks)
+            ]
+            self.rack_up = [
+                Link(f"rack_up[{r}]", 0.0, bandwidth * self.rack_factor)
+                for r in range(n_racks)
+            ]
+
+    def rack_of(self, worker: int) -> int | None:
+        """Rack index of ``worker`` (``None`` in the flat topology)."""
+        if self.rack_size is None:
+            return None
+        return worker // self.rack_size
+
+    def send_down(self, worker: int, start: float, nbytes: float,
+                  factor: float = 1.0) -> float:
+        """Master → worker transmission; returns the worker receive time."""
+        time = start
+        rack = self.rack_of(worker)
+        if rack is not None:
+            time = self.rack_down[rack].transmit(time, nbytes)
+        return self.down[worker].transmit(time, nbytes, factor)
+
+    def send_up(self, worker: int, start: float, nbytes: float,
+                factor: float = 1.0) -> float:
+        """Worker → master transmission; returns the master receive time."""
+        time = self.up[worker].transmit(start, nbytes, factor)
+        rack = self.rack_of(worker)
+        if rack is not None:
+            time = self.rack_up[rack].transmit(time, nbytes)
+        return time
+
+    def links(self) -> list[Link]:
+        """Every link in the topology (for conservation audits)."""
+        return [*self.down, *self.up, *self.rack_down, *self.rack_up]

@@ -50,6 +50,9 @@ LEAF_NAMES: tuple[str, ...] = (
     "rack",
     "spot",
     "traces",
+    "netslow",
+    "rackcongest",
+    "linkbursty",
 )
 
 _TRACE_PRESET_POOL = ("stable", "volatile", "bursty", "measured")
@@ -103,6 +106,23 @@ def _leaf(rng: np.random.Generator) -> str:
         preempt_prob = _uniform(rng, 0.01, 0.08)
         restore_prob = _uniform(rng, 0.1, 0.4)
         return f"spot(preempt_prob={preempt_prob},restore_prob={restore_prob})"
+    if name == "netslow":
+        num_slow = int(rng.integers(1, 4))
+        slowdown = _uniform(rng, 2.0, 8.0, digits=1)
+        return f"netslow(num_slow={num_slow},slowdown={slowdown})"
+    if name == "rackcongest":
+        n_racks = int(rng.integers(2, 6))
+        congest_prob = _uniform(rng, 0.03, 0.15)
+        recover_prob = _uniform(rng, 0.1, 0.5)
+        slowdown = _uniform(rng, 2.0, 6.0, digits=1)
+        return (
+            f"rackcongest(congest_prob={congest_prob},n_racks={n_racks},"
+            f"recover_prob={recover_prob},slowdown={slowdown})"
+        )
+    if name == "linkbursty":
+        dip_prob = _uniform(rng, 0.03, 0.25)
+        dip_depth = _uniform(rng, 0.1, 0.5)
+        return f"linkbursty(dip_depth={dip_depth},dip_prob={dip_prob})"
     preset = _TRACE_PRESET_POOL[int(rng.integers(len(_TRACE_PRESET_POOL)))]
     horizon = _HORIZON_POOL[int(rng.integers(len(_HORIZON_POOL)))]
     return f"traces(horizon={horizon},preset={preset})"

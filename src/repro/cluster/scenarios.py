@@ -77,6 +77,10 @@ __all__ = [
     "MarkovOnOffSpeeds",
     "RackSlowdownSpeeds",
     "SpotPreemptionSpeeds",
+    "LinkDegradedSpeeds",
+    "NetworkSlowSpeeds",
+    "RackCongestSpeeds",
+    "LinkBurstySpeeds",
     "TRACE_PRESETS",
 ]
 
@@ -434,6 +438,139 @@ class SpotPreemptionSpeeds(GeneratedSpeeds):
         return np.where(self._down, self.floor, 1.0)
 
 
+@dataclass
+class LinkDegradedSpeeds(GeneratedSpeeds):
+    """Base class for *network* scenarios: healthy compute, degraded links.
+
+    Compute speeds are exactly ``1.0`` every iteration — the closed-form
+    simulator sees a no-straggler environment — while
+    :meth:`link_factors` exposes a seeded per-worker process of effective
+    link-bandwidth multipliers (``1.0`` healthy, ``< 1`` congested) that
+    only the event backend (:mod:`repro.cluster.events`) consumes.  Factor
+    draws are memoised independently of speed draws, so interleaved
+    ``speeds``/``link_factors`` queries replay identically and the RNG is
+    consumed by the factor process alone.
+    """
+
+    _factor_history: list[np.ndarray] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self._factor_history = []
+
+    def _step(self, iteration: int) -> np.ndarray:
+        return np.ones(self.n_workers)
+
+    def link_factors(self, iteration: int) -> np.ndarray:
+        """Per-worker link factors for ``iteration`` (memoised replay)."""
+        if iteration < 0:
+            raise ValueError("iteration must be >= 0")
+        while len(self._factor_history) <= iteration:
+            self._factor_history.append(
+                self._factor_step(len(self._factor_history))
+            )
+        return self._factor_history[iteration].copy()
+
+    def _factor_step(self, iteration: int) -> np.ndarray:
+        raise NotImplementedError
+
+
+@dataclass
+class NetworkSlowSpeeds(LinkDegradedSpeeds):
+    """Persistent per-worker link degradation (``netslow``).
+
+    ``num_slow`` workers — drawn once per seed — run their links at
+    ``1/slowdown`` for the whole run: the network twin of the paper's
+    persistent compute stragglers (an oversubscribed NIC or a flaky cable
+    instead of a slow core).
+    """
+
+    num_slow: int = 2
+    slowdown: float = 4.0
+    _slow_links: np.ndarray | None = field(
+        init=False, repr=False, default=None
+    )
+
+    def _validate(self) -> None:
+        if not isinstance(self.num_slow, (int, np.integer)) or self.num_slow < 0:
+            raise ValueError(f"num_slow must be an int >= 0, got {self.num_slow!r}")
+        if self.num_slow > self.n_workers:
+            raise ValueError("num_slow must be <= n_workers")
+        if self.slowdown < 1:
+            raise ValueError("slowdown must be >= 1")
+
+    def _factor_step(self, iteration: int) -> np.ndarray:
+        if self._slow_links is None:
+            slow = self._rng.permutation(self.n_workers)[: self.num_slow]
+            mask = np.zeros(self.n_workers, dtype=bool)
+            mask[slow] = True
+            self._slow_links = mask
+        return np.where(self._slow_links, 1.0 / self.slowdown, 1.0)
+
+
+@dataclass
+class RackCongestSpeeds(LinkDegradedSpeeds):
+    """Rack-correlated Markov link congestion (``rackcongest``).
+
+    Each of ``n_racks`` contiguous racks enters a congested state with
+    probability ``congest_prob`` per iteration and recovers with
+    ``recover_prob``; every worker of a congested rack sees its link run
+    at ``1/slowdown``.  The network twin of :class:`RackSlowdownSpeeds` —
+    a saturated ToR uplink slows a whole rack's transfers together.
+    """
+
+    n_racks: int = 3
+    congest_prob: float = 0.08
+    recover_prob: float = 0.3
+    slowdown: float = 4.0
+    _congested: np.ndarray = field(init=False, repr=False)
+    _rack_of: np.ndarray = field(init=False, repr=False)
+
+    def _validate(self) -> None:
+        check_positive_int(self.n_racks, "n_racks")
+        if self.n_racks > self.n_workers:
+            raise ValueError("n_racks must be <= n_workers")
+        check_probability(self.congest_prob, "congest_prob")
+        check_probability(self.recover_prob, "recover_prob")
+        if self.slowdown < 1:
+            raise ValueError("slowdown must be >= 1")
+        self._congested = np.zeros(self.n_racks, dtype=bool)
+        self._rack_of = (
+            np.arange(self.n_workers) * self.n_racks // self.n_workers
+        )
+
+    def _factor_step(self, iteration: int) -> np.ndarray:
+        u = self._rng.random(self.n_racks)
+        self._congested = np.where(
+            self._congested, u >= self.recover_prob, u < self.congest_prob
+        )
+        return np.where(
+            self._congested[self._rack_of], 1.0 / self.slowdown, 1.0
+        )
+
+
+@dataclass
+class LinkBurstySpeeds(LinkDegradedSpeeds):
+    """Memoryless per-worker link dips (``linkbursty``).
+
+    Every worker's link independently dips to ``dip_depth`` of its
+    bandwidth with probability ``dip_prob`` per iteration — transient
+    cross-traffic bursts, the network twin of :class:`BurstySpeeds`.
+    """
+
+    dip_prob: float = 0.1
+    dip_depth: float = 0.2
+
+    def _validate(self) -> None:
+        check_probability(self.dip_prob, "dip_prob")
+        if not 0 < self.dip_depth <= 1:
+            raise ValueError("dip_depth must be in (0, 1]")
+
+    def _factor_step(self, iteration: int) -> np.ndarray:
+        dips = self._rng.random(self.n_workers) < self.dip_prob
+        return np.where(dips, self.dip_depth, 1.0)
+
+
 #: Named presets for the ``traces`` scenario, mapping to the calibrated
 #: :class:`~repro.prediction.traces.TraceConfig` instances.
 TRACE_PRESETS: dict[str, TraceConfig] = {
@@ -604,3 +741,63 @@ def _build_traces(
         ) from None
     check_positive_int(horizon, "horizon")
     return TraceSpeeds(generate_speed_traces(n_workers, horizon, config, seed=seed))
+
+
+@register_scenario(
+    "netslow",
+    "persistent per-worker link slowdown; compute stays healthy",
+    models="oversubscribed NICs / flaky cables — event backend only "
+    "(closed form sees constant speeds)",
+    num_slow=2,
+    slowdown=4.0,
+)
+def _build_netslow(
+    n_workers: int, seed: int | None, num_slow: int, slowdown: float
+):
+    return NetworkSlowSpeeds(
+        n_workers, seed=seed, num_slow=num_slow, slowdown=slowdown
+    )
+
+
+@register_scenario(
+    "rackcongest",
+    "rack-correlated Markov link congestion (whole racks' transfers stall)",
+    models="saturated ToR uplinks — event backend only (closed form sees "
+    "constant speeds)",
+    n_racks=3,
+    congest_prob=0.08,
+    recover_prob=0.3,
+    slowdown=4.0,
+)
+def _build_rackcongest(
+    n_workers: int,
+    seed: int | None,
+    n_racks: int,
+    congest_prob: float,
+    recover_prob: float,
+    slowdown: float,
+):
+    return RackCongestSpeeds(
+        n_workers,
+        seed=seed,
+        n_racks=n_racks,
+        congest_prob=congest_prob,
+        recover_prob=recover_prob,
+        slowdown=slowdown,
+    )
+
+
+@register_scenario(
+    "linkbursty",
+    "memoryless one-iteration link-bandwidth dips",
+    models="transient cross-traffic bursts — event backend only (closed "
+    "form sees constant speeds)",
+    dip_prob=0.1,
+    dip_depth=0.2,
+)
+def _build_linkbursty(
+    n_workers: int, seed: int | None, dip_prob: float, dip_depth: float
+):
+    return LinkBurstySpeeds(
+        n_workers, seed=seed, dip_prob=dip_prob, dip_depth=dip_depth
+    )

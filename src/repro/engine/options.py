@@ -17,6 +17,7 @@ from repro.engine.executors import DEFAULT_EXECUTOR, available_executors
 __all__ = [
     "positive_int",
     "executor_name",
+    "backend_name",
     "add_execution_arguments",
 ]
 
@@ -40,6 +41,18 @@ def executor_name(text: str) -> str:
         raise argparse.ArgumentTypeError(
             f"unknown executor {text!r}; available: "
             f"{', '.join(available_executors())}"
+        )
+    return text
+
+
+def backend_name(text: str) -> str:
+    """Argparse type for ``--backend``: a registered simulator core."""
+    from repro.cluster.events import available_backends
+
+    if text not in available_backends():
+        raise argparse.ArgumentTypeError(
+            f"unknown backend {text!r}; available: "
+            f"{', '.join(available_backends())}"
         )
     return text
 

@@ -169,6 +169,8 @@ def run_coded_lr_like_batch(
     predictor: BatchPredictor,
     iterations: int = 15,
     timeout: TimeoutPolicy | None = None,
+    network: NetworkModel | None = None,
+    backend: str = "closed",
 ) -> BatchRunMetrics:
     """Latency-only twin of :func:`run_coded_lr_like` for a trial batch.
 
@@ -177,14 +179,19 @@ def run_coded_lr_like_batch(
     encoded, because the latency/waste metrics the figures report depend
     only on plans and speeds.  Trial ``t`` reproduces a single-trial
     session seeded the same way, bit for bit.
+
+    ``network`` overrides :func:`controlled_network` (the equivalence
+    suite injects the zero-network limit here), and ``backend`` selects
+    the simulator core (``"closed"`` or ``"event"``).
     """
     runner = build_batch_runner(
         "coded",
         speed_model,
         predictor,
-        network=controlled_network(),
+        network=network if network is not None else controlled_network(),
         cost=controlled_cost(),
         timeout=timeout,
+        backend=backend,
     )
     runner.register_matvec("A", n_rows, n_cols, k, scheduler)
     runner.register_matvec("At", n_cols, n_rows, k, scheduler)

@@ -63,7 +63,12 @@ BASELINE = "mds"
 
 def _cell(params: dict, ctx: SweepContext) -> dict:
     """Per-trial totals and waste for one (policy, scenario) grid point."""
-    policy = build_policy(params["policy"], N_WORKERS, COVERAGE)
+    policy = build_policy(
+        params["policy"],
+        N_WORKERS,
+        COVERAGE,
+        backend=params.get("backend", "closed"),
+    )
     rows, cols = (480, 120) if ctx.quick else (2400, 600)
     iterations = 4 if ctx.quick else 15
     return policy.run_scenario(
@@ -81,6 +86,7 @@ class MatrixResult:
     per_scenario: dict[str, ExperimentResult]
     summary: ExperimentResult
     waste: ExperimentResult
+    backend: str = "closed"
 
     def tables(self) -> list[ExperimentResult]:
         """Every table in print order: per-scenario, then the grids."""
@@ -97,6 +103,7 @@ def run_matrix(
     runner: SweepRunner | None = None,
     policies: tuple[str, ...] | None = None,
     scenarios: tuple[str, ...] | None = None,
+    backend: str = "closed",
 ) -> MatrixResult:
     """Sweep policy × scenario × trials; return every table.
 
@@ -104,7 +111,14 @@ def run_matrix(
     names raise ``KeyError`` listing the registry (the CLI turns that into
     a clean exit 2).  Ratios are paired per trial — every policy faces the
     identical straggler draws before normalisation — then averaged.
+
+    ``backend`` selects the simulator core (``"closed"`` or ``"event"``)
+    and participates as a sweep axis, so event-backend cells are cached
+    and resumed under distinct plan digests.
     """
+    from repro.cluster.events import check_backend
+
+    check_backend(backend)
     policies = tuple(policies) if policies else available_policies()
     scenarios = tuple(scenarios) if scenarios else available_scenarios()
     for name in policies:
@@ -115,26 +129,33 @@ def run_matrix(
     spec = SweepSpec(
         name="matrix",
         cell=_cell,
-        axes=(("policy", policies), ("scenario", scenarios)),
+        axes=(
+            ("policy", policies),
+            ("scenario", scenarios),
+            ("backend", (backend,)),
+        ),
         trials=trials,
         base_seed=seed,
         quick=quick,
     )
     swept = (runner or SweepRunner()).run(spec)
 
+    tag = "" if backend == "closed" else f", {backend} backend"
     per_scenario: dict[str, ExperimentResult] = {}
     for scenario in scenarios:
         table = ExperimentResult(
             name=f"matrix/{scenario}",
             description=(
                 f"every mitigation policy under the {scenario!r} scenario, "
-                f"({N_WORKERS},{COVERAGE}) code"
+                f"({N_WORKERS},{COVERAGE}) code{tag}"
             ),
             columns=("policy", "total", "wasted", f"vs-{baseline}"),
         )
-        base = np.asarray(swept.get(policy=baseline, scenario=scenario)["total"])
+        base = np.asarray(
+            swept.get(policy=baseline, scenario=scenario, backend=backend)["total"]
+        )
         for policy in policies:
-            cell = swept.get(policy=policy, scenario=scenario)
+            cell = swept.get(policy=policy, scenario=scenario, backend=backend)
             total = np.asarray(cell["total"])
             table.add_row(
                 policy,
@@ -148,7 +169,7 @@ def run_matrix(
         name="matrix",
         description=(
             f"normalised LR-like latency (×{baseline}, paired per trial), "
-            "policy × scenario"
+            f"policy × scenario{tag}"
         ),
         columns=("policy",) + scenarios,
     )
@@ -182,6 +203,7 @@ def run_matrix(
         per_scenario=per_scenario,
         summary=summary,
         waste=waste,
+        backend=backend,
     )
 
 

@@ -91,6 +91,7 @@ def run_tournament(
     n_scenarios: int | None = None,
     population_seed: int | None = None,
     extra_scenarios: tuple[str, ...] = (),
+    backend: str = "closed",
 ) -> TournamentResult:
     """Run the policy registry over a generated scenario population.
 
@@ -98,8 +99,12 @@ def run_tournament(
     the entire tournament; ``extra_scenarios`` appends named scenarios
     (base or composed expressions) to the generated population.  Unknown
     policy/scenario names raise ``KeyError`` listing the registry (the
-    CLI turns that into exit 2).
+    CLI turns that into exit 2).  ``backend`` selects the simulator core
+    and rides along as a sweep axis, exactly as in the matrix.
     """
+    from repro.cluster.events import check_backend
+
+    check_backend(backend)
     policies = tuple(policies) if policies else available_policies()
     for name in policies:
         get_policy(name)
@@ -117,7 +122,11 @@ def run_tournament(
     spec = SweepSpec(
         name="tournament",
         cell=_cell,
-        axes=(("policy", policies), ("scenario", scenarios)),
+        axes=(
+            ("policy", policies),
+            ("scenario", scenarios),
+            ("backend", (backend,)),
+        ),
         trials=trials,
         base_seed=seed,
         quick=quick,
@@ -130,10 +139,10 @@ def run_tournament(
     ratios = np.empty_like(totals)
     for j, scenario in enumerate(scenarios):
         base = np.asarray(
-            swept.get(policy=baseline, scenario=scenario)["total"]
+            swept.get(policy=baseline, scenario=scenario, backend=backend)["total"]
         )
         for i, policy in enumerate(policies):
-            cell = swept.get(policy=policy, scenario=scenario)
+            cell = swept.get(policy=policy, scenario=scenario, backend=backend)
             total = np.asarray(cell["total"])
             totals[i, j] = np.mean(total)
             wasted[i, j] = np.mean(cell["wasted"])

@@ -225,7 +225,13 @@ class _BatchRunnerBase:
         )
         predicted = np.asarray(self.predictor.predict(), dtype=np.float64)
         plans = self._plan_round(op, predicted)
-        outcome = op.sim.run_batch(plans, actual)
+        if getattr(op.sim, "wants_link_factors", False):
+            from repro.cluster.events.factors import link_factors_batch
+
+            factors = link_factors_batch(self.speed_model, self._iteration)
+            outcome = op.sim.run_batch(plans, actual, link_factors=factors)
+        else:
+            outcome = op.sim.run_batch(plans, actual)
         repaired = self._finish_round(op, plans, outcome)
         self.predictor.update(np.where(outcome.responded, actual, np.nan))
         self.metrics.add_round(
@@ -249,9 +255,29 @@ class BatchCodedRunner(_BatchRunnerBase):
     else — granularity harmonisation, plan construction, the simulated
     timeline, predictor feedback — follows the session's control loop
     round for round, for all trials at once.
+
+    ``backend`` selects the simulator core: ``"closed"`` (the analytic
+    default) or ``"event"`` (the discrete-event engine of
+    :mod:`repro.cluster.events`, bitwise-equal under its identity config
+    and additionally sensitive to link degradation from network
+    scenarios).
     """
 
     timeout: TimeoutPolicy | None = None
+    backend: str = "closed"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        from repro.cluster.events import check_backend
+
+        check_backend(self.backend)
+
+    def _make_sim(self, **kwargs) -> CodedIterationSim:
+        if self.backend == "event":
+            from repro.cluster.events import EventDrivenIterationSim
+
+            return EventDrivenIterationSim(**kwargs)
+        return CodedIterationSim(**kwargs)
 
     def register_matvec(
         self,
@@ -270,7 +296,7 @@ class BatchCodedRunner(_BatchRunnerBase):
         """
         block_rows = RowPartition(total_rows, k).block_rows
         scheduler, chunks = _harmonise_granularity(scheduler, num_chunks, block_rows)
-        sim = CodedIterationSim(
+        sim = self._make_sim(
             grid=ChunkGrid(block_rows, chunks),
             width=width,
             width_out=1,
@@ -303,7 +329,7 @@ class BatchCodedRunner(_BatchRunnerBase):
         block_rows = RowPartition(left_rows, a).block_rows
         block_cols = RowPartition(right_cols, b).block_rows
         scheduler, chunks = _harmonise_granularity(scheduler, num_chunks, block_rows)
-        sim = CodedIterationSim(
+        sim = self._make_sim(
             grid=ChunkGrid(block_rows, chunks),
             width=inner * block_cols,
             width_out=block_cols,
@@ -402,7 +428,7 @@ def build_batch_runner(
 ) -> _BatchRunnerBase:
     """One construction surface for the batched runner families.
 
-    ``family`` is ``"coded"`` (knob: ``timeout``) or
+    ``family`` is ``"coded"`` (knobs: ``timeout``, ``backend``) or
     ``"overdecomposition"`` (knobs: ``factor``, ``replication``); unknown
     families and knobs raise ``ValueError`` listing what is available.
     The experiment harness and the execution engine build every batched

@@ -153,13 +153,26 @@ def get_policy(name: str) -> PolicySpec:
 
 
 def build_policy(
-    name: str, n_workers: int, k: int, **overrides: Any
+    name: str,
+    n_workers: int,
+    k: int,
+    *,
+    backend: str = "closed",
+    network: Any = None,
+    **overrides: Any,
 ) -> "PolicyRunner":
     """Build the named policy's configured runner for an ``(n, k)`` cluster.
 
     ``k`` is the decoding threshold of the coded policies; the uncoded
     baselines accept and ignore it, so one uniform factory drives the whole
     registry (the property the policy × scenario matrix sweeps on).
+
+    ``backend`` selects the simulator core for the coded runners
+    (``"closed"`` or ``"event"`` — see :mod:`repro.cluster.events`), and
+    ``network`` overrides their :class:`~repro.cluster.network.NetworkModel`
+    (the zero-network equivalence suite injects the limit here).  The
+    uncoded baselines have no closed-form/event split, so both settings
+    pass through them unchanged.
     """
     spec = get_policy(name)
     check_positive_int(n_workers, "n_workers")
@@ -174,7 +187,26 @@ def build_policy(
             f"tunable: {sorted(params)}"
         )
     params.update(overrides)
-    return spec.builder(n_workers=n_workers, k=k, **params)
+    runner = spec.builder(n_workers=n_workers, k=k, **params)
+    if backend != "closed" or network is not None:
+        import dataclasses
+
+        from repro.cluster.events import check_backend
+
+        check_backend(backend)
+        fields = (
+            {f.name for f in dataclasses.fields(runner)}
+            if dataclasses.is_dataclass(runner)
+            else set()
+        )
+        updates: dict[str, Any] = {}
+        if "backend" in fields:
+            updates["backend"] = backend
+        if network is not None and "network" in fields:
+            updates["network"] = network
+        if updates:
+            runner = dataclasses.replace(runner, **updates)
+    return runner
 
 
 def registry_digest() -> str:
@@ -279,6 +311,10 @@ class CodedPolicyRunner:
     scheduler_factory: Callable[[], Any]
     predictor_factory: Callable[[str, Any, int], Any]
     timeout: TimeoutPolicy | None = None
+    #: Simulator core ("closed" or "event") and an optional NetworkModel
+    #: override — both applied by :func:`build_policy`, never by builders.
+    backend: str = "closed"
+    network: Any = None
 
     def make_scheduler(self):
         """A fresh scheduler instance configured with the policy's knobs."""
@@ -297,6 +333,8 @@ class CodedPolicyRunner:
             predictor,
             iterations=iterations,
             timeout=self.timeout,
+            network=self.network,
+            backend=self.backend,
         )
 
     def run_scenario(self, scenario, ctx, *, rows, cols, iterations):

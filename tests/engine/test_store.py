@@ -3,6 +3,7 @@
 import json
 import os
 import random
+import threading
 
 import pytest
 
@@ -158,6 +159,101 @@ class TestTornTailProperty:
         # stream (resume is byte-identical across process restarts).
         reopened = RunStore(tmp_path).open_run("r1", {})
         assert reopened.records() == handle.records()
+
+
+class TestPruneUnderConcurrentReaders:
+    """``prune_stale`` must never corrupt or crash concurrent readers.
+
+    Pruning deletes whole run directories while other threads (or
+    processes — the store has no locks) are mid-scan.  The contract:
+    readers may observe a stale run before or after its deletion, never a
+    broken state — no exception escapes, and records of *surviving* runs
+    are always seen complete.
+    """
+
+    CURRENT = {"source": "bbb", "version": "1"}
+    STALE = {"source": "aaa", "version": "1"}
+
+    def _populate_stale(self, store, round_tag):
+        for i in range(4):
+            handle = store.open_run(f"stale-{round_tag}-{i}", self.STALE)
+            for j in range(10):
+                handle.append(_record(f"s{round_tag}.{i}.{j}", [float(j)]))
+
+    def test_readers_survive_repeated_pruning(self, tmp_path):
+        store = RunStore(tmp_path)
+        keep = store.open_run("cur", self.CURRENT)
+        cur_keys = {f"cur.{j}" for j in range(10)}
+        for j in range(10):
+            keep.append(_record(f"cur.{j}", [float(j)]))
+
+        errors: list[Exception] = []
+        snapshots: list[set] = []
+        stop = threading.Event()
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    snapshots.append(set(store.shard_index()))
+                    store.manifest_of("cur")
+                    store.shard_count()
+                    store.run_keys()
+            except Exception as exc:  # pragma: no cover - the failure mode
+                errors.append(exc)
+                stop.set()
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        try:
+            removed = 0
+            for round_tag in range(5):  # churn: recreate stale runs, prune
+                self._populate_stale(store, round_tag)
+                removed += store.prune_stale(self.CURRENT)
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+
+        assert not errors
+        assert removed == 20
+        assert store.run_keys() == ["cur"]
+        assert snapshots  # the readers actually raced the pruner
+        # The surviving run was complete in every observed snapshot.
+        for snapshot in snapshots:
+            assert cur_keys <= snapshot
+        assert set(store.shard_index()) == cur_keys
+
+    def test_open_handle_to_pruned_run_degrades_to_empty(self, tmp_path):
+        store = RunStore(tmp_path)
+        stale = store.open_run("old", self.STALE)
+        stale.append(_record("k1", [1.0]))
+        assert store.prune_stale(self.CURRENT) == 1
+        # A reader still holding the handle sees a clean empty state, not
+        # an exception — its shard simply gets recomputed.
+        assert stale.records() == []
+        assert stale.manifest() is None
+        assert store.manifest_of("old") is None
+        assert store.shard_index() == {}
+
+    def test_prune_concurrent_with_appends_to_current_run(self, tmp_path):
+        # An engine appending to the current run while maintenance prunes
+        # stale ones: every append must land.
+        store = RunStore(tmp_path)
+        self._populate_stale(store, "x")
+        keep = store.open_run("cur", self.CURRENT)
+
+        def writer():
+            for j in range(50):
+                keep.append(_record(f"cur.{j}", [float(j)]))
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        removed = store.prune_stale(self.CURRENT)
+        thread.join()
+        assert removed == 4
+        assert len(keep.records()) == 50
+        assert set(store.shard_index()) == {f"cur.{j}" for j in range(50)}
 
 
 class TestOnDiskShape:

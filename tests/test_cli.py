@@ -1,8 +1,23 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
+import argparse
+import importlib.util
+from pathlib import Path
+
 import pytest
 
 from repro.__main__ import main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load_script(name: str):
+    spec = importlib.util.spec_from_file_location(
+        name, REPO_ROOT / "scripts" / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
 
 
 class TestCli:
@@ -201,6 +216,94 @@ class TestFuzzCli:
             "--summary-only", "--trials", "--resume", "--seed",
         ):
             assert flag in out
+
+
+class TestBackendCli:
+    """``--backend`` selects the simulator core on matrix and fuzz."""
+
+    def test_matrix_runs_on_event_backend(self, capsys):
+        argv = [
+            "matrix", "--quick", "--no-cache", "--summary-only",
+            "--policy", "mds", "--policy", "s2c2-general",
+            "--scenario", "constant", "--backend", "event",
+        ]
+        assert main(argv) == 0
+        assert "event backend" in capsys.readouterr().out
+
+    def test_fuzz_runs_on_event_backend(self, capsys):
+        argv = [
+            "fuzz", "--quick", "--no-cache", "--scenarios", "2",
+            "--policy", "mds", "--policy", "s2c2-general",
+            "--summary-only", "--backend", "event",
+        ]
+        assert main(argv) == 0
+        assert "tournament" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("command", ["matrix", "fuzz"])
+    def test_unknown_backend_exits_2_listing_backends(self, capsys, command):
+        with pytest.raises(SystemExit) as excinfo:
+            main([command, "--backend", "analytic"])
+        assert excinfo.value.code == 2
+        captured = capsys.readouterr()
+        assert captured.out == ""  # nothing half-printed
+        assert "--backend" in captured.err
+        assert "closed" in captured.err and "event" in captured.err
+
+    @pytest.mark.parametrize("command", ["matrix", "fuzz"])
+    def test_help_documents_backend_flag(self, capsys, command):
+        with pytest.raises(SystemExit):
+            main([command, "--help"])
+        out = capsys.readouterr().out
+        assert "--backend" in out
+        assert "closed" in out and "event" in out
+
+
+class TestBenchSweepTags:
+    """``bench_sweep.py --tag KEY=VALUE``: first-``=`` split, exit-2 misuse.
+
+    The regression pinned here: a tag *value* containing ``=`` (a composed
+    scenario expression such as ``mix(bursty,constant,weight=0.7)``) must
+    survive verbatim — only the first ``=`` separates key from value.
+    """
+
+    @pytest.fixture(scope="class")
+    def bench(self):
+        return _load_script("bench_sweep")
+
+    def test_tag_splits_on_first_equals_only(self, bench):
+        key, value = bench.tag_pair(
+            "scenario=mix(bursty,constant,weight=0.7)"
+        )
+        assert key == "scenario"
+        assert value == "mix(bursty,constant,weight=0.7)"
+
+    @pytest.mark.parametrize("text", ["no-separator", "=value", ""])
+    def test_malformed_tag_rejected(self, bench, text):
+        with pytest.raises(argparse.ArgumentTypeError, match="KEY=VALUE"):
+            bench.tag_pair(text)
+
+    def test_parser_collects_repeated_tags(self, bench):
+        args = bench.build_parser().parse_args(
+            [
+                "--tag", "scenario=mix(bursty,constant,weight=0.7)",
+                "--tag", "host=ci",
+            ]
+        )
+        assert dict(args.tag) == {
+            "scenario": "mix(bursty,constant,weight=0.7)",
+            "host": "ci",
+        }
+
+    def test_parser_exits_2_naming_flag_on_bad_tag(self, bench, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            bench.build_parser().parse_args(["--tag", "oops"])
+        assert excinfo.value.code == 2
+        assert "--tag" in capsys.readouterr().err
+
+    def test_parser_accepts_events_flag(self, bench):
+        args = bench.build_parser().parse_args(["--events"])
+        assert args.events is True
+        assert bench.build_parser().parse_args([]).events is False
 
 
 class TestCliValidation:
