@@ -25,8 +25,9 @@ Scans README.md and docs/*.md (by default) for
   each must be accepted by that subcommand's argument parser (so docs
   can't advertise ``--executor`` / ``--resume`` spellings the CLI does
   not take), every ``--executor NAME`` value must be a registered
-  executor backend, and every ``--backend NAME`` value must be a
-  registered simulator backend;
+  executor backend, every ``--backend NAME`` value must be a registered
+  simulator backend, and every ``--reducer NAME`` value must be a
+  registered streaming reducer;
 * relative markdown links (``[text](other.md)``, ``[text](#anchor)``,
   ``[text](other.md#anchor)``) — the target file must exist next to the
   referring document and the anchor must match one of its headings
@@ -53,7 +54,9 @@ PATHLIKE = re.compile(
     r"`((?:src|docs|scripts|tests|benchmarks|examples)(?:/[A-Za-z0-9_.\-]+)*/?)`"
 )
 EXPERIMENT_CMD = re.compile(r"python -m repro experiments ((?:[a-z0-9]+ )*[a-z0-9]+)")
-SWEEP_CMD_LINE = re.compile(r"python -m repro (?:matrix|fuzz)(?:[^\n]*\\\n)*[^\n]*")
+SWEEP_CMD_LINE = re.compile(
+    r"python -m repro (?:matrix|fuzz|stream)(?:[^\n]*\\\n)*[^\n]*"
+)
 REPRO_CMD_LINE = re.compile(
     r"python -m repro ([a-z]+)((?:[^\n]*\\\n)*[^\n]*)"
 )
@@ -63,6 +66,7 @@ COMPOSED_EXPR = re.compile(r"`([a-z_][a-z0-9_\-]*\([^`\s]*\))`")
 CLI_FLAG = re.compile(r"(--[a-z][a-z0-9\-]*)")
 EXECUTOR_FLAG = re.compile(r"--executor[= ]([A-Za-z0-9_\-]+)")
 BACKEND_FLAG = re.compile(r"--backend[= ]([A-Za-z0-9_\-]+)")
+REDUCER_FLAG = re.compile(r"--reducer[= ]([A-Za-z0-9_\-]+)")
 MD_LINK = re.compile(r"(?<!!)\[[^\]\[]*\]\(([^()\s]+)\)")
 HEADING = re.compile(r"^#{1,6}\s+(.+?)\s*$", re.MULTILINE)
 
@@ -183,6 +187,7 @@ def check_file(path: Path) -> list[str]:
                 )
     from repro.cluster.events import available_backends
     from repro.engine.executors import available_executors
+    from repro.engine.reduce import available_reducers
 
     cli_options = _cli_options()
     for subcommand, rest in REPRO_CMD_LINE.findall(text):
@@ -200,6 +205,9 @@ def check_file(path: Path) -> list[str]:
         for name in BACKEND_FLAG.findall(rest):
             if name not in available_backends() and name != "NAME":
                 errors.append(f"{path.name}: unknown backend `{name}`")
+        for name in REDUCER_FLAG.findall(rest):
+            if name not in available_reducers() and name != "NAME":
+                errors.append(f"{path.name}: unknown reducer `{name}`")
     for target in sorted(set(MD_LINK.findall(text))):
         error = _check_link(path, target)
         if error:

@@ -67,6 +67,12 @@ if [ "$1" = "bench" ]; then
     # simulation ones.
     python scripts/bench_sweep.py --trials 4 --jobs 2 --predictor-trials 64 \
         --matrix --engine --events --append-json BENCH_SWEEP.json
+
+    echo "== bench regression gate =="
+    # Compares the row just appended against the trajectory median per
+    # metric (normalised to core-seconds by each row's recorded cpus) and
+    # fails on a >25% slowdown; tune with --threshold FRACTION.
+    python scripts/bench_gate.py --json BENCH_SWEEP.json
 fi
 
 echo "smoke OK"

@@ -50,6 +50,17 @@ Commands
     names or composition expressions like ``overlay(rack,bursty)`` — to
     the generated population; an unknown policy/scenario/combinator name
     exits 2 listing the registry.
+``stream [--policy NAME] [--scenario NAME] [--reducer NAME]
+[--backend NAME] [--quick] [--trials N] [--jobs N] [--executor NAME]
+[--shard-size N] [--resume] [--seed S] [--no-cache] [--cache-dir PATH]``
+    Run one fat (policy, scenario) cell at any trial count through a
+    streaming reducer (:mod:`repro.engine.reduce`) and print the
+    finalized summary as sorted JSON.  Unlike the figure experiments —
+    whose paired ratios need the exact ``concat`` trial lists — this is
+    the constant-memory surface: ``--reducer stats`` (the default) or
+    ``--reducer quantile`` hold a bounded state per cell however large
+    ``--trials`` grows, and ``--resume`` folds completed cells from their
+    persisted reducer checkpoints.
 ``version``
     Print the package version.
 
@@ -217,6 +228,53 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     for table in tables:
         print(table.format_table())
         print(flush=True)
+    print(f"   [{elapsed:.1f}s]", file=sys.stderr)
+    return 0
+
+
+def _cmd_stream(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.cluster.scenarios import get_scenario
+    from repro.experiments.matrix import _cell
+    from repro.experiments.sweep import NothingToResumeError, SweepSpec
+    from repro.scheduling.policies import get_policy
+
+    try:
+        get_policy(args.policy)
+        get_scenario(args.scenario)
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+    runner = _make_runner(args)
+    if runner is None:
+        return 2
+    spec = SweepSpec(
+        name="stream",
+        cell=_cell,
+        axes=(
+            ("policy", (args.policy,)),
+            ("scenario", (args.scenario,)),
+            ("backend", (args.backend,)),
+        ),
+        trials=args.trials,
+        base_seed=args.seed,
+        quick=args.quick,
+        reducer=args.reducer,
+    )
+    start = time.perf_counter()
+    try:
+        swept = runner.run(spec)
+    except NothingToResumeError as error:
+        print(f"error: --resume: {error}", file=sys.stderr)
+        return 2
+    elapsed = time.perf_counter() - start
+    value = swept.get(
+        policy=args.policy, scenario=args.scenario, backend=args.backend
+    )
+    # Sorted JSON keeps stdout byte-deterministic across identical-seed
+    # re-runs (the determinism contract every sweep surface honours).
+    print(json.dumps(value, sort_keys=True, indent=2))
     print(f"   [{elapsed:.1f}s]", file=sys.stderr)
     return 0
 
@@ -400,6 +458,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="print only the summary and Pareto tables, not the "
         "per-scenario winners",
     )
+    from repro.engine.options import reducer_name
+
+    stream_p = sub.add_parser(
+        "stream",
+        help="one fat cell through a constant-memory streaming reducer",
+        parents=[sweep_flags],
+    )
+    stream_p.add_argument(
+        "--policy",
+        default="mds",
+        metavar="NAME",
+        help="mitigation policy of the cell (default: mds)",
+    )
+    stream_p.add_argument(
+        "--scenario",
+        default="constant",
+        metavar="NAME",
+        help="straggler scenario of the cell (default: constant)",
+    )
+    stream_p.add_argument(
+        "--reducer",
+        type=reducer_name,
+        default="stats",
+        metavar="NAME",
+        help="streaming reducer folding the trials (default: stats; "
+        "'quantile' adds a seeded-reservoir sample and P² probes; "
+        "'concat' keeps the exact per-trial lists)",
+    )
+    stream_p.add_argument(
+        "--backend",
+        type=backend_name,
+        default="closed",
+        metavar="NAME",
+        help="simulator core: closed (analytic, default) or event "
+        "(discrete-event engine with explicit network links)",
+    )
     sub.add_parser("version", help="print the package version")
     return parser
 
@@ -419,6 +513,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_matrix(args)
     if args.command == "fuzz":
         return _cmd_fuzz(args)
+    if args.command == "stream":
+        return _cmd_stream(args)
     if args.command == "version":
         from repro import __version__
 

@@ -136,20 +136,36 @@ class ChunkGrid:
 
         The ``extra = rows % num_chunks`` larger chunks are interleaved via
         Bresenham spacing so every contiguous arc is balanced.
+
+        The geometry is pure in ``(rows, num_chunks)`` and this is on the
+        per-iteration hot path of both simulator cores, so the array is
+        computed once per grid and returned read-only thereafter.
         """
+        cached = self.__dict__.get("_chunk_sizes")
+        if cached is not None:
+            return cached
         base, extra = divmod(self.rows, self.num_chunks)
         sizes = np.full(self.num_chunks, base, dtype=np.int64)
         if extra:
             marks = (np.arange(1, self.num_chunks + 1) * extra) // self.num_chunks
             sizes += np.diff(np.concatenate(([0], marks)))
+        sizes.setflags(write=False)
+        object.__setattr__(self, "_chunk_sizes", sizes)
         return sizes
 
     def chunk_offsets(self) -> np.ndarray:
         """Return the starting row of every chunk plus a final sentinel.
 
         ``offsets[c]:offsets[c + 1]`` is the row slice of chunk ``c``.
+        Cached read-only, like :meth:`chunk_sizes`.
         """
-        return np.concatenate(([0], np.cumsum(self.chunk_sizes())))
+        cached = self.__dict__.get("_chunk_offsets")
+        if cached is not None:
+            return cached
+        offsets = np.concatenate(([0], np.cumsum(self.chunk_sizes())))
+        offsets.setflags(write=False)
+        object.__setattr__(self, "_chunk_offsets", offsets)
+        return offsets
 
     def chunk_bounds(self, chunk: int) -> tuple[int, int]:
         """Return the ``(begin_row, end_row)`` half-open bounds of a chunk."""

@@ -10,9 +10,15 @@ The single execution core under every experiment surface, in three layers
 * **Executor layer** (:mod:`repro.engine.executors`) — pluggable
   ``serial`` / ``thread`` / ``process`` backends behind one
   ``--executor`` / ``--jobs`` surface.
+* **Reducer layer** (:mod:`repro.engine.reduce`) — composable streaming
+  reducers that fold shard values into cell values as they arrive:
+  ``concat`` (the bitwise-exact compatibility default) plus
+  constant-memory statistics (``mean`` / ``minmax`` / ``count`` /
+  ``sum`` / ``stats``) and a seeded-reservoir ``quantile`` summary.
 * **Run-store layer** (:mod:`repro.engine.store`) — an append-only,
-  crash-safe store of per-run manifests and content-keyed shard records;
-  interrupted sweeps resume exactly where they stopped.
+  crash-safe store of per-run manifests, content-keyed shard records,
+  and per-cell reducer checkpoints; interrupted sweeps resume exactly
+  where they stopped, folding completed cells from their checkpoints.
 
 :class:`repro.engine.runner.ExecutionEngine` ties the layers together;
 :class:`repro.experiments.sweep.SweepRunner` is its sweep-facing facade.
@@ -40,6 +46,13 @@ from repro.engine.plan import (
     jsonable,
     merge_shard_values,
 )
+from repro.engine.reduce import (
+    DEFAULT_REDUCER,
+    Reducer,
+    ReducerShapeError,
+    available_reducers,
+    get_reducer,
+)
 from repro.engine.runner import (
     EngineReport,
     ExecutionEngine,
@@ -50,7 +63,7 @@ from repro.engine.runner import (
     run_key,
     shard_key,
 )
-from repro.engine.store import RunHandle, RunStore, default_cache_dir
+from repro.engine.store import AppendWriter, RunHandle, RunStore, default_cache_dir
 
 __all__ = [
     "SEED_STRIDE",
@@ -71,8 +84,14 @@ __all__ = [
     "DEFAULT_EXECUTOR",
     "available_executors",
     "make_executor",
+    "DEFAULT_REDUCER",
+    "Reducer",
+    "ReducerShapeError",
+    "available_reducers",
+    "get_reducer",
     "RunStore",
     "RunHandle",
+    "AppendWriter",
     "default_cache_dir",
     "ExecutionEngine",
     "EngineReport",

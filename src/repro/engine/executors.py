@@ -91,24 +91,48 @@ class _PoolExecutor:
     def map_unordered(
         self, fn: Callable[..., Any], tasks: Sequence[tuple]
     ) -> Iterator[tuple[int, Any]]:
-        tasks = list(tasks)
-        if not tasks:
+        # Submission is windowed: at most ``2 × jobs`` tasks are in flight
+        # at once, and the rest of ``tasks`` is consumed lazily as results
+        # drain.  Keeps every worker fed (a fresh task is submitted the
+        # moment one completes) without pickling the whole queue's
+        # arguments up front — for a million-trial sweep the argument
+        # tuples carry per-shard seed slices, and materialising them all
+        # would cost O(trials) memory before the first cell runs.
+        try:
+            total = len(tasks)
+        except TypeError:
+            total = None  # a pure iterable: size the pool by --jobs alone
+        if total == 0:
             return
-        workers = min(self.jobs, len(tasks))
+        workers = self.jobs if total is None else min(self.jobs, total)
+        it = enumerate(iter(tasks))
         with self._pool_factory(max_workers=workers) as pool:
-            index_of = {
-                pool.submit(fn, *args): index for index, args in enumerate(tasks)
-            }
-            pending = set(index_of)
+            index_of: dict[Any, int] = {}
+
+            def submit_next() -> bool:
+                try:
+                    index, args = next(it)
+                except StopIteration:
+                    return False
+                index_of[pool.submit(fn, *args)] = index
+                return True
+
+            for _ in range(2 * workers):
+                if not submit_next():
+                    break
             try:
-                while pending:
-                    done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                while index_of:
+                    done, _not_done = wait(
+                        set(index_of), return_when=FIRST_COMPLETED
+                    )
                     for future in done:
-                        yield index_of[future], future.result()
+                        index = index_of.pop(future)
+                        submit_next()
+                        yield index, future.result()
             except BaseException:
                 # A failing unit (or an abandoned consumer) must not leave
                 # the rest of the queue burning CPU on soon-discarded work.
-                for future in pending:
+                for future in index_of:
                     future.cancel()
                 raise
 

@@ -18,6 +18,7 @@ __all__ = [
     "positive_int",
     "executor_name",
     "backend_name",
+    "reducer_name",
     "add_execution_arguments",
 ]
 
@@ -53,6 +54,18 @@ def backend_name(text: str) -> str:
         raise argparse.ArgumentTypeError(
             f"unknown backend {text!r}; available: "
             f"{', '.join(available_backends())}"
+        )
+    return text
+
+
+def reducer_name(text: str) -> str:
+    """Argparse type for ``--reducer``: a registered streaming reducer."""
+    from repro.engine.reduce import available_reducers
+
+    if text not in available_reducers():
+        raise argparse.ArgumentTypeError(
+            f"unknown reducer {text!r}; available: "
+            f"{', '.join(available_reducers())}"
         )
     return text
 

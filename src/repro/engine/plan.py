@@ -127,6 +127,14 @@ class SweepSpec:
     shardable:
         Whether the cell's value is trial-separable (the default; every
         built-in cell is).  ``False`` forces one work unit per cell.
+    reducer:
+        How shard values fold into the cell value the consumer sees (a
+        registered :mod:`repro.engine.reduce` name).  The default,
+        ``"concat"``, reassembles the exact per-trial lists — bitwise
+        equal to a monolithic evaluation; the streaming reducers
+        (``mean`` / ``minmax`` / ``count`` / ``sum`` / ``stats`` /
+        ``quantile``) fold each shard into constant-size summaries so
+        million-trial sweeps run in flat memory.
     """
 
     name: str
@@ -136,6 +144,7 @@ class SweepSpec:
     base_seed: int = 0
     quick: bool = True
     shardable: bool = True
+    reducer: str = "concat"
 
     def __post_init__(self) -> None:
         axes = self.axes
@@ -147,6 +156,14 @@ class SweepSpec:
                 raise ValueError(f"axis {name!r} has no values")
         object.__setattr__(self, "axes", axes)
         check_positive_int(self.trials, "trials")
+        # Imported lazily: repro.engine.reduce imports this module.
+        from repro.engine.reduce import available_reducers
+
+        if self.reducer not in available_reducers():
+            raise ValueError(
+                f"unknown reducer {self.reducer!r}; available: "
+                f"{', '.join(available_reducers())}"
+            )
 
     @property
     def axis_names(self) -> tuple[str, ...]:
@@ -185,14 +202,26 @@ class SweepSpec:
 
 @dataclass(frozen=True)
 class Shard:
-    """One schedulable work unit: a cell restricted to a trial range."""
+    """One schedulable work unit: a cell restricted to a trial range.
+
+    The shard context (per-trial seed slice) is derived **lazily** from
+    the owning spec: a compiled plan holds only trial *ranges*, never the
+    materialised seed tuples, so the plan of a million-trial sweep stays
+    a few kilobytes — contexts exist one at a time, while a shard is
+    being keyed or executed.
+    """
 
     index: int  #: position in the plan (stable, deterministic)
     point_key: tuple  #: ``spec.key_of(params)`` of the owning cell
     params: dict  #: the owning cell's grid point
     lo: int  #: first trial covered (inclusive)
     hi: int  #: last trial covered (exclusive)
-    ctx: SweepContext  #: shard-scoped context (seeds of ``[lo, hi)``)
+    spec: SweepSpec = field(repr=False)  #: owning spec (for lazy contexts)
+
+    @property
+    def ctx(self) -> SweepContext:
+        """Shard-scoped context (seeds of ``[lo, hi)``), built on demand."""
+        return self.spec.shard_context(self.lo, self.hi)
 
     @property
     def trials(self) -> int:
@@ -210,6 +239,9 @@ class WorkPlan:
     spec: SweepSpec
     shard_size: int
     shards: tuple[Shard, ...]
+    #: The reducer tag of every cell in this plan (``spec.reducer``,
+    #: stamped at compile time): how the engine folds the shard stream.
+    reducer: str = "concat"
 
     def by_point(self) -> list[tuple[dict, list[Shard]]]:
         """``(params, shards)`` per grid point, in grid order."""
@@ -254,10 +286,15 @@ def compile_plan(spec: SweepSpec, shard_size: int | None = None) -> WorkPlan:
                     params=params,
                     lo=lo,
                     hi=hi,
-                    ctx=spec.shard_context(lo, hi),
+                    spec=spec,
                 )
             )
-    return WorkPlan(spec=spec, shard_size=size, shards=tuple(shards))
+    return WorkPlan(
+        spec=spec,
+        shard_size=size,
+        shards=tuple(shards),
+        reducer=spec.reducer,
+    )
 
 
 class ShardMergeError(ValueError):

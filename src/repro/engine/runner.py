@@ -1,23 +1,33 @@
-"""The execution engine: plan → store lookup → executor → merge.
+"""The execution engine: plan → store lookup → executor → streaming fold.
 
 :class:`ExecutionEngine` is the single execution core under every
 experiment surface.  One ``run(spec)`` call:
 
 1. **compiles** the spec into shard work units
-   (:func:`repro.engine.plan.compile_plan`);
+   (:func:`repro.engine.plan.compile_plan`), each cell tagged with its
+   :mod:`reducer <repro.engine.reduce>`;
 2. **keys** every shard by content (:func:`shard_key`: cell identity, the
    source bytes of the whole ``repro`` package, the straggler-scenario and
    mitigation-policy registry digests, the grid point, the shard's seeds,
    the scale flag, and the package version — any source or registry edit
    invalidates stored results rather than silently serving numbers
    computed by old code);
-3. **serves** already-stored shards from the
-   :class:`~repro.engine.store.RunStore` index and schedules the rest on
-   the selected :mod:`executor backend <repro.engine.executors>`,
-   appending each finished shard to the run's log as it completes;
-4. **merges** shard values back into cell values in trial order —
+3. **restores** cells whose reducer checkpoint is already persisted in
+   the run's ``cells.jsonl`` log, **streams** stored shard records into
+   the remaining cells' folds, and schedules the rest on the selected
+   :mod:`executor backend <repro.engine.executors>`, appending each
+   finished shard to the run's log as it completes;
+4. **folds** shard values into cell values *as the executor yields them*
+   — each shard payload is converted to its reducer state on arrival and
+   discarded, so peak memory tracks the shard, not the sweep.  States
+   merge strictly in trial order (out-of-order arrivals are buffered as
+   states, never as raw payloads), which keeps the ``concat`` reducer
    bitwise-equal to a monolithic evaluation by the work-plan layer's
-   contract — and marks the run complete.
+   contract and makes every reducer run-to-run deterministic.  When a
+   cell's fold completes, its reducer state is checkpointed to the run
+   log — the record a later ``--resume`` folds from instead of replaying
+   the cell's raw shard records — and the run is marked complete once
+   every cell finalises.
 
 Run-scoped memos
 ----------------
@@ -55,8 +65,8 @@ from repro.engine.plan import (
     WorkPlan,
     compile_plan,
     jsonable,
-    merge_shard_values,
 )
+from repro.engine.reduce import Reducer, get_reducer
 from repro.engine.store import RunStore
 
 __all__ = [
@@ -166,7 +176,14 @@ def shard_key(
 def run_key(
     spec: SweepSpec, plan: WorkPlan, digests: dict[str, str] | None = None
 ) -> str:
-    """Content hash identifying one run (spec × digests × shard plan)."""
+    """Content hash identifying one run (spec × digests × shard plan).
+
+    The reducer participates: a run's ``cells.jsonl`` checkpoints are
+    reducer *states*, meaningless under another reducer, so runs that
+    differ only in reducer must not share a directory.  Raw shard records
+    stay reducer-independent (:func:`shard_key` does not fold it in), so
+    a ``concat`` run still warms a ``stats`` run shard-by-shard.
+    """
     identity = {
         "kind": "run",
         "cell": _cell_id(spec),
@@ -176,6 +193,7 @@ def run_key(
         "base_seed": spec.base_seed,
         "quick": spec.quick,
         "shard_size": plan.shard_size,
+        "reducer": plan.reducer,
     }
     return _digest_of(identity)
 
@@ -185,16 +203,138 @@ def _run_shard(cell, params: dict, ctx) -> Any:
     return jsonable(cell(params, ctx))
 
 
+class _TaskSequence:
+    """Lazy task arguments for the executor: sized, built on demand.
+
+    Materialising every pending shard's argument tuple up front would pin
+    all their seed slices at once — O(trials) memory before a single cell
+    runs.  This sequence knows its length (so pools size themselves) but
+    builds each ``(cell, params, ctx)`` tuple only when the executor
+    actually reaches it; with the executors' windowed submission, at most
+    a pool's in-flight window of contexts exists at any moment.
+    """
+
+    def __init__(self, cell, shards: tuple[Shard, ...], pending: list[int]):
+        self._cell = cell
+        self._shards = shards
+        self._pending = pending
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def __iter__(self):
+        for i in self._pending:
+            shard = self._shards[i]
+            yield (self._cell, shard.params, shard.ctx)
+
+
+class _PointFold:
+    """The ordered streaming fold of one grid point's shard stream.
+
+    Shard values arrive in any order (pool executors, store scans); each
+    is converted to its reducer state the moment it is offered — the raw
+    payload is never retained — and states merge strictly in trial order:
+    a contiguous folded prefix (``acc``) plus a buffer of out-of-order
+    *states* (``pending``).  The buffer holds at most the executor's
+    reordering window; for streaming reducers each entry is constant
+    size, and for ``concat`` the state holds the payload by design (the
+    compatibility trade-off).
+    """
+
+    __slots__ = (
+        "reducer",
+        "key",
+        "params",
+        "shards",
+        "ordinal",
+        "cell",
+        "acc",
+        "next_pos",
+        "pending",
+    )
+
+    def __init__(
+        self,
+        reducer: Reducer,
+        key: tuple,
+        params: dict,
+        shards: list[Shard],
+        ordinal: int,
+        cell: str,
+    ):
+        self.reducer = reducer
+        self.key = key
+        self.params = params
+        self.shards = shards
+        self.ordinal = ordinal
+        self.cell = cell
+        self.acc: Any = None
+        self.next_pos = 0
+        self.pending: dict[int, Any] = {}
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def complete(self) -> bool:
+        return self.next_pos == self.n_shards
+
+    def has(self, pos: int) -> bool:
+        """Whether shard ``pos`` of this point is already folded or buffered."""
+        return pos < self.next_pos or pos in self.pending
+
+    def offer(self, pos: int, value: Any) -> bool:
+        """Fold one shard's raw value in; ``False`` if it was a duplicate."""
+        if self.has(pos):
+            return False
+        shard = self.shards[pos]
+        state = self.reducer.update(
+            self.reducer.init(), value, shard.lo, shard.trials, cell=self.cell
+        )
+        self.pending[pos] = state
+        while self.next_pos in self.pending:
+            head = self.pending.pop(self.next_pos)
+            self.acc = (
+                head
+                if self.next_pos == 0
+                else self.reducer.merge(self.acc, head, cell=self.cell)
+            )
+            self.next_pos += 1
+        return True
+
+    def restore(self, state: Any) -> None:
+        """Adopt a persisted checkpoint state: the whole point is folded."""
+        self.acc = state
+        self.next_pos = self.n_shards
+        self.pending.clear()
+
+    def checkpoint_record(self) -> dict:
+        """The ``cells.jsonl`` record persisting this completed fold."""
+        return {
+            "kind": "cell",
+            "index": self.ordinal,
+            "point": jsonable(self.params),
+            "reducer": self.reducer.name,
+            "shards": self.n_shards,
+            "state": self.acc,
+        }
+
+    def finalize(self) -> Any:
+        return self.reducer.finalize(self.acc, cell=self.cell)
+
+
 @dataclass
 class EngineReport:
     """What one engine run produced, plus its scheduling accounting."""
 
     spec: SweepSpec
-    values: dict[tuple, Any]  #: merged cell values by grid-point key
-    shard_hits: int  #: shards served from the run store
+    values: dict[tuple, Any]  #: finalised cell values by grid-point key
+    shard_hits: int  #: shards served from the run store (or checkpoints)
     shards_total: int
     run_key: str | None = None  #: ``None`` when no store was attached
     resumed: bool = False  #: an incomplete stored run was picked up
+    reducer: str = "concat"  #: how shard values were folded
 
 
 class ExecutionEngine:
@@ -266,11 +406,56 @@ class ExecutionEngine:
             return SerialExecutor()
         return make_executor(self.executor_name, self.jobs)
 
+    def _restore_checkpoints(self, rk: str, folds: list[_PointFold]) -> int:
+        """Adopt valid persisted reducer checkpoints; return shards served.
+
+        A checkpoint is trusted only when its ordinal, reducer name,
+        shard count, and grid point all agree with the compiled plan (the
+        run key already pins the spec and digests, so mismatches mean a
+        torn or foreign record) — anything else is skipped and the cell
+        falls back to raw shard replay, byte-identically.
+        """
+        served = 0
+        for record in self.store.handle(rk).cell_records():
+            index = record.get("index")
+            if not isinstance(index, int) or not 0 <= index < len(folds):
+                continue
+            fold = folds[index]
+            if fold.complete:
+                continue
+            if (
+                record.get("reducer") != fold.reducer.name
+                or record.get("shards") != fold.n_shards
+                or record.get("point") != jsonable(fold.params)
+            ):
+                continue
+            fold.restore(record["state"])
+            served += fold.n_shards
+        return served
+
     def run(self, spec: SweepSpec) -> EngineReport:
-        """Evaluate every cell of ``spec`` (store first, then executor)."""
+        """Evaluate every cell of ``spec`` (checkpoints, store, executor).
+
+        Shard values are folded into their cells' reducer states as they
+        arrive and the payloads dropped, so peak memory is bounded by the
+        shard size and the executor's reordering window — never by
+        ``trials`` (except under the ``concat`` reducer, whose state *is*
+        the payload).
+        """
         plan = compile_plan(spec, self.shard_size)
         shards = plan.shards
-        values: dict[int, Any] = {}
+        reducer = get_reducer(plan.reducer)
+        cell_label = f"{spec.name}:{_cell_id(spec)}"
+        folds: list[_PointFold] = []
+        owner: list[tuple[_PointFold, int]] = [None] * len(shards)
+        for ordinal, (params, cell_shards) in enumerate(plan.by_point()):
+            fold = _PointFold(
+                reducer, spec.key_of(params), params, cell_shards,
+                ordinal, cell_label,
+            )
+            folds.append(fold)
+            for pos, shard in enumerate(cell_shards):
+                owner[shard.index] = (fold, pos)
         keys: list[str] | None = None
         hits = 0
         handle = None
@@ -292,13 +477,24 @@ class ExecutionEngine:
                 )
             self._resume_checked = True
             resumed = manifest is not None and not manifest.get("complete")
-            index = self.store.shard_index(
-                keys=set(keys), match={"cell": _cell_id(spec), **digests}
-            )
-            for i, key in enumerate(keys):
-                if key in index:
-                    values[i] = index[key]
-                    hits += 1
+            if manifest is not None:
+                # Completed cells restore straight from their persisted
+                # reducer state — no raw shard replay.
+                hits += self._restore_checkpoints(rk, folds)
+            # Stream stored shard records into the remaining folds, one
+            # record at a time (never an in-memory index of all values).
+            want = {
+                key: i
+                for i, key in enumerate(keys)
+                if not owner[i][0].complete
+            }
+            if want:
+                for key, value in self.store.iter_matching(
+                    keys=want.keys(), match={"cell": _cell_id(spec), **digests}
+                ):
+                    fold, pos = owner[want[key]]
+                    if fold.offer(pos, value):
+                        hits += 1
             handle = self.store.open_run(
                 rk,
                 {
@@ -311,40 +507,55 @@ class ExecutionEngine:
                     "base_seed": spec.base_seed,
                     "quick": spec.quick,
                     "shard_size": plan.shard_size,
+                    "reducer": plan.reducer,
                     "n_shards": len(shards),
                     "created": time.time(),
                 },
             )
-        pending = [i for i in range(len(shards)) if i not in values]
+        pending = [
+            i for i in range(len(shards)) if not owner[i][0].has(owner[i][1])
+        ]
         if pending:
             executor = self._executor(len(pending))
-            tasks = [
-                (spec.cell, shards[i].params, shards[i].ctx) for i in pending
-            ]
-            for local_index, value in executor.map_unordered(_run_shard, tasks):
-                i = pending[local_index]
-                values[i] = value
-                if handle is not None:
-                    handle.append(
-                        {
-                            "key": keys[i],
-                            "sweep": spec.name,
-                            "point": jsonable(shards[i].params),
-                            "lo": shards[i].lo,
-                            "hi": shards[i].hi,
-                            "value": value,
-                        }
-                    )
+            tasks = _TaskSequence(spec.cell, shards, pending)
+            # One writer per log for the whole drain: the open/seal/close
+            # dance happens once, each record is still one O_APPEND write.
+            shard_writer = handle.writer() if handle is not None else None
+            cell_writer = handle.cell_writer() if handle is not None else None
+            try:
+                for local_index, value in executor.map_unordered(
+                    _run_shard, tasks
+                ):
+                    i = pending[local_index]
+                    fold, pos = owner[i]
+                    if shard_writer is not None:
+                        shard_writer.append(
+                            {
+                                "key": keys[i],
+                                "sweep": spec.name,
+                                "point": jsonable(shards[i].params),
+                                "lo": shards[i].lo,
+                                "hi": shards[i].hi,
+                                "value": value,
+                            }
+                        )
+                    fold.offer(pos, value)
+                    if fold.complete and cell_writer is not None:
+                        # The cell's fold just closed: checkpoint its
+                        # reducer state so a resume after a crash folds
+                        # from here instead of replaying the shard log.
+                        cell_writer.append(fold.checkpoint_record())
+            finally:
+                if shard_writer is not None:
+                    shard_writer.close()
+                if cell_writer is not None:
+                    cell_writer.close()
         merged: dict[tuple, Any] = {}
-        for params, cell_shards in plan.by_point():
-            merged[spec.key_of(params)] = merge_shard_values(
-                [values[s.index] for s in cell_shards],
-                [s.trials for s in cell_shards],
-                cell=f"{spec.name}:{_cell_id(spec)}",
-            )
-        # Completion is claimed only after every shard merged: a cell that
-        # turns out not to be trial-separable must not leave behind a run
-        # marked complete whose stored shards can never be assembled.
+        for fold in folds:
+            merged[fold.key] = fold.finalize()
+        # Completion is claimed only after every cell finalised: a cell
+        # that turns out not to fit its reducer must not leave behind a
+        # run marked complete whose stored shards can never be assembled.
         if handle is not None:
             handle.mark_complete()
         return EngineReport(
@@ -354,4 +565,5 @@ class ExecutionEngine:
             shards_total=len(shards),
             run_key=rk,
             resumed=resumed,
+            reducer=plan.reducer,
         )

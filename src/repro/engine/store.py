@@ -7,6 +7,9 @@ describe *runs in flight*, not just finished cells:
 <store root>/
   runs/<run_key>/manifest.json   # the run: spec identity, digests, shard plan
   runs/<run_key>/shards.jsonl    # append-only log, one record per finished shard
+  runs/<run_key>/cells.jsonl     # append-only log, one reducer checkpoint per
+                                 # cell completed by the engine (finalised fold
+                                 # state — see repro.engine.reduce)
 ```
 
 * **Per-run manifest** — written atomically when a run opens (``complete:
@@ -20,6 +23,12 @@ describe *runs in flight*, not just finished cells:
   in-flight shards.  Readers tolerate a torn final line (it is simply
   recomputed), which is the whole crash-safety story: no locks, no
   write-ahead protocol, just an idempotent log keyed by content.
+* **Reducer checkpoints** — when the engine finishes folding a cell's
+  shard stream it appends the cell's *reducer state* to ``cells.jsonl``
+  (same single-write append discipline), so a later ``--resume`` restores
+  completed cells directly from their checkpoint instead of replaying raw
+  shard records; a torn or invalid checkpoint record is simply skipped
+  and the cell falls back to shard replay, byte-identically.
 * **Content-keyed lookup** — records are addressed by their shard key
   (cell identity + package/registry digests + params + seeds + scale — see
   :func:`repro.engine.runner.shard_key`), so the index is valid across
@@ -48,6 +57,7 @@ from typing import Any, Collection, Iterator, Mapping
 __all__ = [
     "RunStore",
     "RunHandle",
+    "AppendWriter",
     "default_cache_dir",
 ]
 
@@ -78,57 +88,117 @@ def _read_json(path: Path) -> dict | None:
     return value if isinstance(value, dict) else None
 
 
+class AppendWriter:
+    """A reusable append point: one open ``O_APPEND`` descriptor.
+
+    Opening, torn-tail checking, and closing a descriptor per record is
+    four syscalls of overhead on every shard; a sweep appending hundreds
+    of shard records through one writer pays them once.  Each ``append``
+    is still a single ``os.write`` of one JSON line — the crash-safety
+    story is unchanged: a killed process loses at most the in-flight
+    record, and ``O_APPEND`` keeps concurrent writers (even through
+    separate descriptors) from interleaving within a line on ordinary
+    local filesystems.
+
+    The descriptor is opened lazily on the first append, when any torn
+    tail left by a previously killed writer (a partial line with no
+    trailing newline) is sealed off with a leading newline — the torn
+    line stays unreadable (and its record recomputed once), while
+    everything after it parses normally.
+    """
+
+    def __init__(self, path: Path):
+        self.path = path
+        self._fd: int | None = None
+
+    def append(self, record: dict) -> None:
+        """Append one record as a single ``O_APPEND`` write."""
+        line = json.dumps(record) + "\n"
+        if self._fd is None:
+            self._fd = os.open(
+                self.path, os.O_RDWR | os.O_CREAT | os.O_APPEND, 0o644
+            )
+            size = os.fstat(self._fd).st_size
+            if size and os.pread(self._fd, 1, size - 1) != b"\n":
+                line = "\n" + line
+        os.write(self._fd, line.encode())
+
+    def close(self) -> None:
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None
+
+    def __enter__(self) -> "AppendWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _iter_jsonl(path: Path, required: str) -> Iterator[dict]:
+    """Well-formed records of one log, in append order (torn tail skipped)."""
+    try:
+        with open(path) as handle:
+            for line in handle:
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn write from a killed process
+                if isinstance(record, dict) and required in record:
+                    yield record
+    except OSError:
+        return
+
+
 class RunHandle:
-    """One open run: the append point for finished shard records."""
+    """One open run: the append point for shard and checkpoint records."""
 
     def __init__(self, path: Path):
         self.path = path
         self.shards_path = path / "shards.jsonl"
+        self.cells_path = path / "cells.jsonl"
 
     @property
     def run_key(self) -> str:
         return self.path.name
 
-    def append(self, record: dict) -> None:
-        """Append one shard record as a single ``O_APPEND`` write.
+    def writer(self) -> AppendWriter:
+        """A reusable :class:`AppendWriter` on the shard log."""
+        return AppendWriter(self.shards_path)
 
-        One ``os.write`` per record keeps concurrent sweeps appending to
-        the same run from interleaving *within* a line on ordinary local
-        filesystems; a duplicate record (two processes computing the same
-        shard) is harmless — lookups take the first occurrence and the
-        payloads are equal by determinism.  A torn tail left by a killed
-        writer (a partial line with no trailing newline) is sealed off
-        with a newline first, so the new record never concatenates onto
-        it — the torn line stays unreadable (and its shard recomputed
-        once), while everything after it parses normally.
+    def cell_writer(self) -> AppendWriter:
+        """A reusable :class:`AppendWriter` on the reducer-checkpoint log."""
+        return AppendWriter(self.cells_path)
+
+    def append(self, record: dict) -> None:
+        """Append one shard record (open-write-close; see :meth:`writer`).
+
+        A duplicate record (two processes computing the same shard) is
+        harmless — lookups take the first occurrence and the payloads are
+        equal by determinism.
         """
-        line = json.dumps(record) + "\n"
-        fd = os.open(
-            self.shards_path, os.O_RDWR | os.O_CREAT | os.O_APPEND, 0o644
-        )
-        try:
-            size = os.fstat(fd).st_size
-            if size and os.pread(fd, 1, size - 1) != b"\n":
-                line = "\n" + line
-            os.write(fd, line.encode())
-        finally:
-            os.close(fd)
+        with self.writer() as writer:
+            writer.append(record)
+
+    def iter_shard_records(self) -> Iterator[dict]:
+        """Well-formed shard records, streamed in append order."""
+        return _iter_jsonl(self.shards_path, required="key")
 
     def records(self) -> list[dict]:
         """Every well-formed shard record, in append order (torn tail skipped)."""
-        out: list[dict] = []
-        try:
-            with open(self.shards_path) as handle:
-                for line in handle:
-                    try:
-                        record = json.loads(line)
-                    except json.JSONDecodeError:
-                        continue  # torn write from a killed process
-                    if isinstance(record, dict) and "key" in record:
-                        out.append(record)
-        except OSError:
-            pass
-        return out
+        return list(self.iter_shard_records())
+
+    def cell_records(self) -> list[dict]:
+        """Every well-formed reducer-checkpoint record, in append order.
+
+        Each record carries the cell's grid-point ordinal (``index``), its
+        reducer name and shard count, and the folded reducer ``state`` —
+        everything the engine needs to validate and restore the cell
+        without replaying its raw shard records.  Torn or non-checkpoint
+        lines are skipped, exactly like the shard log: an invalid
+        checkpoint merely demotes its cell to shard replay.
+        """
+        return list(_iter_jsonl(self.cells_path, required="state"))
 
     def manifest(self) -> dict | None:
         return _read_json(self.path / "manifest.json")
@@ -191,14 +261,14 @@ class RunStore:
         manifest = self.manifest_of(run_key) or {}
         return all(manifest.get(name) == value for name, value in match.items())
 
-    def shard_index(
+    def iter_matching(
         self,
         keys: Collection[str] | None = None,
         match: Mapping[str, str] | None = None,
-    ) -> dict[str, Any]:
-        """Content-keyed lookup table: shard key → stored value.
+    ) -> Iterator[tuple[str, Any]]:
+        """Stream ``(shard_key, value)`` pairs of matching stored shards.
 
-        ``keys`` restricts the index to the shard keys a caller actually
+        ``keys`` restricts the stream to the shard keys a caller actually
         needs (everything else is parsed and dropped line by line instead
         of accumulating in memory); ``match`` skips whole runs whose
         manifest disagrees on any of the given fields — the engine passes
@@ -206,18 +276,36 @@ class RunStore:
         possibly serve a current key have their logs read at all (shard
         keys hash the cell id and the digests, so the filter loses
         nothing, including the cross-figure dedup of specs sharing a cell
-        function).  First occurrence of a key wins (duplicates are
-        bitwise-equal by determinism, so the choice is cosmetic).
+        function).  Duplicate keys are yielded as they occur — a
+        streaming consumer folds the first and ignores the rest
+        (duplicates are bitwise-equal by determinism); unlike the
+        :meth:`shard_index` dict this never holds more than one record in
+        memory, which is what lets the engine serve a million-trial resume
+        in flat memory.
         """
-        index: dict[str, Any] = {}
         for run_key in self.run_keys():
             if match is not None and not self._manifest_matches(run_key, match):
                 continue
-            for record in self.handle(run_key).records():
+            for record in self.handle(run_key).iter_shard_records():
                 key = record["key"]
                 if keys is not None and key not in keys:
                     continue
-                index.setdefault(key, record.get("value"))
+                yield key, record.get("value")
+
+    def shard_index(
+        self,
+        keys: Collection[str] | None = None,
+        match: Mapping[str, str] | None = None,
+    ) -> dict[str, Any]:
+        """Content-keyed lookup table: shard key → stored value.
+
+        A materialised :meth:`iter_matching` (first occurrence of a key
+        wins).  Memory grows with the number of matching shards — callers
+        that fold values as they arrive should iterate instead.
+        """
+        index: dict[str, Any] = {}
+        for key, value in self.iter_matching(keys=keys, match=match):
+            index.setdefault(key, value)
         return index
 
     def shard_count(self) -> int:

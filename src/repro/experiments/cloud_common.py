@@ -136,6 +136,9 @@ def run_environment(
         trials=trials,
         base_seed=seed,
         quick=quick,
+        # Per-trial pairing / trial-resolved shapes: the exact concat
+        # reducer (full trial lists), not a streaming summary.
+        reducer="concat",
     )
     return (runner or SweepRunner()).run(spec).get(environment=environment)
 

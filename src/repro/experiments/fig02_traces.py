@@ -82,6 +82,9 @@ def run(
         trials=trials,
         base_seed=seed,
         quick=quick,
+        # Per-trial pairing / trial-resolved shapes: the exact concat
+        # reducer (full trial lists), not a streaming summary.
+        reducer="concat",
     )
     stats = (runner or SweepRunner()).run(spec).get(preset="measured")
     result = ExperimentResult(

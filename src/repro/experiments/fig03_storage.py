@@ -95,6 +95,9 @@ def run(
         trials=trials,
         base_seed=seed,
         quick=quick,
+        # Per-trial pairing / trial-resolved shapes: the exact concat
+        # reducer (full trial lists), not a streaming summary.
+        reducer="concat",
     )
     swept = (runner or SweepRunner()).run(spec)
     optimal = np.asarray(swept.get(locality=False)["curves"]).mean(axis=0)

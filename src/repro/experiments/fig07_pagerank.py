@@ -103,6 +103,9 @@ def run(
         trials=trials,
         base_seed=seed,
         quick=quick,
+        # Per-trial pairing / trial-resolved shapes: the exact concat
+        # reducer (full trial lists), not a streaming summary.
+        reducer="concat",
     )
     swept = (runner or SweepRunner()).run(spec)
     result = ExperimentResult(

@@ -27,6 +27,10 @@ from repro.scheduling.timeout import TimeoutPolicy
 
 __all__ = [
     "ExperimentResult",
+    "trial_count",
+    "trial_mean",
+    "trial_min",
+    "trial_max",
     "controlled_network",
     "controlled_cost",
     "run_coded_lr_like",
@@ -35,6 +39,49 @@ __all__ = [
     "run_overdecomposition_lr_like",
     "run_overdecomposition_lr_like_batch",
 ]
+
+
+def _is_summary(leaf) -> bool:
+    """Whether ``leaf`` is a streaming-reducer summary (vs a trial list)."""
+    return isinstance(leaf, dict) and "count" in leaf
+
+
+def trial_count(leaf) -> int:
+    """Trial count of one cell leaf — raw list or reducer summary.
+
+    The experiment tables consume sweep cells through these accessors so
+    they read identically off the default ``concat`` reducer (exact
+    per-trial lists) and off the constant-memory streaming summaries of
+    :mod:`repro.engine.reduce`; under ``concat`` the arithmetic is the
+    same ``np.mean``-of-the-list the tables always did, bit for bit.
+    Only *paired* statistics (per-trial ratios against a baseline facing
+    the identical draws) inherently need the full lists and therefore the
+    ``concat`` reducer.
+    """
+    if _is_summary(leaf):
+        return int(leaf["count"])
+    return len(leaf)
+
+
+def trial_mean(leaf) -> float:
+    """Mean over trials of one cell leaf — raw list or reducer summary."""
+    if _is_summary(leaf):
+        return float(leaf["mean"])
+    return float(np.mean(leaf))
+
+
+def trial_min(leaf) -> float:
+    """Min over trials of one cell leaf — raw list or reducer summary."""
+    if _is_summary(leaf):
+        return float(leaf["min"])
+    return float(np.min(leaf))
+
+
+def trial_max(leaf) -> float:
+    """Max over trials of one cell leaf — raw list or reducer summary."""
+    if _is_summary(leaf):
+        return float(leaf["max"])
+    return float(np.max(leaf))
 
 
 @dataclass

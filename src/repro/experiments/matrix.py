@@ -37,7 +37,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.cluster.scenarios import available_scenarios, get_scenario
-from repro.experiments.harness import ExperimentResult
+from repro.experiments.harness import ExperimentResult, trial_mean
 from repro.experiments.sweep import SweepContext, SweepRunner, SweepSpec
 from repro.scheduling.policies import available_policies, build_policy, get_policy
 
@@ -137,6 +137,10 @@ def run_matrix(
         trials=trials,
         base_seed=seed,
         quick=quick,
+        # The vs-baseline columns are paired per trial (total / base on the
+        # identical draws), which needs the full trial lists — the exact
+        # concat reducer, not a streaming summary.
+        reducer="concat",
     )
     swept = (runner or SweepRunner()).run(spec)
 
@@ -159,8 +163,8 @@ def run_matrix(
             total = np.asarray(cell["total"])
             table.add_row(
                 policy,
-                float(np.mean(total)),
-                float(np.mean(cell["wasted"])),
+                trial_mean(cell["total"]),
+                trial_mean(cell["wasted"]),
                 float(np.mean(total / base)),
             )
         per_scenario[scenario] = table

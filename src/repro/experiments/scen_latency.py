@@ -27,7 +27,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.cluster.scenarios import available_scenarios, scenario_batch
-from repro.experiments.harness import ExperimentResult
+from repro.experiments.harness import ExperimentResult, trial_mean
 from repro.experiments.sweep import SweepContext, SweepRunner, SweepSpec
 from repro.prediction.predictor import LastValuePredictor, StackedPredictor
 from repro.scheduling.policies import build_policy
@@ -74,6 +74,9 @@ def run(
         trials=trials,
         base_seed=seed,
         quick=quick,
+        # The s2c2/mds column is paired per trial, which needs the full
+        # trial lists — the exact concat reducer.
+        reducer="concat",
     )
     swept = (runner or SweepRunner()).run(spec)
     result = ExperimentResult(
@@ -89,8 +92,8 @@ def run(
         s2c2 = np.asarray(swept.get(scenario=scenario, strategy="s2c2"))
         result.add_row(
             scenario,
-            float(np.mean(mds)),
-            float(np.mean(s2c2)),
+            trial_mean(mds),
+            trial_mean(s2c2),
             float(np.mean(s2c2 / mds)),
         )
     result.notes = (

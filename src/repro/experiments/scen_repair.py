@@ -24,7 +24,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.cluster.scenarios import available_scenarios, scenario_batch
-from repro.experiments.harness import ExperimentResult
+from repro.experiments.harness import ExperimentResult, trial_mean
 from repro.experiments.sweep import SweepContext, SweepRunner, SweepSpec
 from repro.prediction.predictor import LastValuePredictor, StackedPredictor
 from repro.scheduling.policies import build_policy
@@ -74,6 +74,9 @@ def run(
         trials=trials,
         base_seed=seed,
         quick=quick,
+        # The repair/none column is paired per trial, which needs the full
+        # trial lists — the exact concat reducer.
+        reducer="concat",
     )
     swept = (runner or SweepRunner()).run(spec)
     result = ExperimentResult(
@@ -97,10 +100,10 @@ def run(
         bare = np.asarray(without["total"])
         result.add_row(
             scenario,
-            float(np.mean(armed)),
-            float(np.mean(bare)),
+            trial_mean(armed),
+            trial_mean(bare),
             float(np.mean(armed / bare)),
-            float(np.mean(with_repair["repairs"])),
+            trial_mean(with_repair["repairs"]),
         )
     result.notes = (
         "expected: no repairs under constant; largest repair benefit where "

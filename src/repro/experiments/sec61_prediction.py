@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.experiments.harness import ExperimentResult
+from repro.experiments.harness import ExperimentResult, trial_mean
 from repro.experiments.sweep import SweepContext, SweepRunner, SweepSpec
 from repro.prediction.arima import ARIMA111Model, ARModel
 from repro.prediction.lstm import LSTMSpeedModel, MAPE_EPS
@@ -84,6 +84,9 @@ def run(
         trials=trials,
         base_seed=seed,
         quick=quick,
+        # Per-trial pairing / trial-resolved shapes: the exact concat
+        # reducer (full trial lists), not a streaming summary.
+        reducer="concat",
     )
     mapes = (runner or SweepRunner()).run(spec).get(preset="measured")
     result = ExperimentResult(
@@ -92,7 +95,7 @@ def run(
         columns=("model", "test-mape"),
     )
     for name in MODELS:
-        result.add_row(name, float(np.mean(mapes[name])))
+        result.add_row(name, trial_mean(mapes[name]))
     result.notes = (
         "paper: LSTM 16.7% MAPE, ~5 points better than ARIMA(1,0,0), which "
         "is the best ARIMA variant"

@@ -49,6 +49,7 @@ from repro.engine import (
     RunStore,
     SweepContext,
     SweepSpec,
+    available_reducers,
     clear_run_scoped_caches,
     default_cache_dir,
     jsonable as _jsonable,
@@ -62,6 +63,7 @@ __all__ = [
     "SweepResult",
     "SweepRunner",
     "NothingToResumeError",
+    "available_reducers",
     "default_cache_dir",
     "register_run_scoped_cache",
     "clear_run_scoped_caches",
@@ -70,12 +72,18 @@ __all__ = [
 
 @dataclass
 class SweepResult:
-    """Cell values of a completed sweep, addressable by grid point."""
+    """Cell values of a completed sweep, addressable by grid point.
+
+    ``values`` are the spec's reducer outputs: exact per-trial structures
+    under the default ``concat`` reducer, constant-size summaries under
+    the streaming reducers (see :mod:`repro.engine.reduce`).
+    """
 
     spec: SweepSpec
     values: dict[tuple, Any]
     cache_hits: int = 0  #: shard work units served from the run store
     resumed: bool = False  #: an interrupted stored run was picked up
+    reducer: str = "concat"  #: how shard values were folded
 
     def get(self, **params) -> Any:
         """Value of the cell at the given grid point."""
@@ -152,4 +160,5 @@ class SweepRunner:
             values=report.values,
             cache_hits=report.shard_hits,
             resumed=report.resumed,
+            reducer=report.reducer,
         )

@@ -40,7 +40,7 @@ import numpy as np
 
 from repro.cluster.fuzz import generate_scenarios
 from repro.cluster.scenarios import get_scenario
-from repro.experiments.harness import ExperimentResult
+from repro.experiments.harness import ExperimentResult, trial_mean
 from repro.experiments.matrix import BASELINE, _cell
 from repro.experiments.sweep import SweepRunner, SweepSpec
 from repro.prediction.predictor import conformal_interval
@@ -130,6 +130,9 @@ def run_tournament(
         trials=trials,
         base_seed=seed,
         quick=quick,
+        # Paired ratios against the baseline need the full trial lists —
+        # the exact concat reducer, not a streaming summary.
+        reducer="concat",
     )
     swept = (runner or SweepRunner()).run(spec)
 
@@ -144,8 +147,8 @@ def run_tournament(
         for i, policy in enumerate(policies):
             cell = swept.get(policy=policy, scenario=scenario, backend=backend)
             total = np.asarray(cell["total"])
-            totals[i, j] = np.mean(total)
-            wasted[i, j] = np.mean(cell["wasted"])
+            totals[i, j] = trial_mean(cell["total"])
+            wasted[i, j] = trial_mean(cell["wasted"])
             ratios[i, j] = np.mean(total / base)
 
     # Ties go to the earlier policy in registry order (deterministic).

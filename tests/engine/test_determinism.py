@@ -136,7 +136,7 @@ def _counting_cell(params, ctx):
     return matrix_cell(params, ctx)
 
 
-def _resume_spec():
+def _resume_spec(reducer="concat"):
     return SweepSpec(
         name="engine-resume",
         cell=_counting_cell,
@@ -144,6 +144,7 @@ def _resume_spec():
         trials=6,
         base_seed=1,
         quick=True,
+        reducer=reducer,
     )
 
 
@@ -226,3 +227,143 @@ class TestResume:
         )
         assert rerun.shard_hits == 4
         assert _CALLS["count"] == 2
+
+
+# --- reducer checkpoints --------------------------------------------------
+
+
+class TestReducerCheckpoints:
+    """``--resume`` folds completed cells from persisted reducer state.
+
+    A streaming reducer's raw shard payloads are discarded once folded,
+    so crash-safety for completed cells rests on the ``cells.jsonl``
+    checkpoint log: a resumed run must restore those folds from the
+    checkpoints (never needing the raw shard records), and a torn
+    checkpoint must demote its cell to raw shard replay — in both
+    directions the result stays byte-identical to an uninterrupted run.
+    """
+
+    def test_resume_folds_from_checkpoints_not_raw_shards(self, tmp_path):
+        _CALLS.update(count=0, fail_after=None)
+        uninterrupted = ExecutionEngine(
+            jobs=1, store=RunStore(tmp_path / "clean"), shard_size=2
+        ).run(_resume_spec(reducer="stats"))
+
+        store = RunStore(tmp_path / "killed")
+        _CALLS.update(count=0, fail_after=4)
+        with pytest.raises(RuntimeError, match="simulated kill"):
+            ExecutionEngine(jobs=1, store=store, shard_size=2).run(
+                _resume_spec(reducer="stats")
+            )
+        # The first cell (3 shards) completed before the kill, so its
+        # fold was checkpointed.  Wipe the raw shard log: only the
+        # checkpoint can now serve that cell.
+        (run_key,) = store.run_keys()
+        handle = store.handle(run_key)
+        assert [r["index"] for r in handle.cell_records()] == [0]
+        handle.shards_path.write_text("torn garbage, no records survive\n")
+
+        _CALLS.update(count=0, fail_after=None)
+        resumed = ExecutionEngine(
+            jobs=1, store=store, shard_size=2, resume=True
+        ).run(_resume_spec(reducer="stats"))
+        assert resumed.values == uninterrupted.values
+        # Cell 0 was served entirely by its checkpoint; only cell 1's
+        # three shards were (re)computed.
+        assert _CALLS["count"] == 3
+        assert resumed.shard_hits == 3
+
+    def test_torn_checkpoint_falls_back_to_raw_shard_replay(self, tmp_path):
+        store = RunStore(tmp_path)
+        _CALLS.update(count=0, fail_after=None)
+        first = ExecutionEngine(jobs=1, store=store, shard_size=2).run(
+            _resume_spec(reducer="stats")
+        )
+        (run_key,) = store.run_keys()
+        handle = store.handle(run_key)
+        raw = handle.cells_path.read_bytes()
+        assert raw.count(b"\n") == 2  # one checkpoint per completed cell
+        # Tear the second checkpoint mid-record, as a kill between
+        # ``os.write`` and the disk would.
+        torn_at = raw.index(b"\n") + 1 + 25
+        handle.cells_path.write_bytes(raw[:torn_at])
+
+        _CALLS.update(count=0, fail_after=None)
+        rerun = ExecutionEngine(jobs=1, store=store, shard_size=2).run(
+            _resume_spec(reducer="stats")
+        )
+        assert rerun.values == first.values
+        # The torn cell replayed from its raw shard records — still no
+        # cell re-invocations, and every shard served warm.
+        assert _CALLS["count"] == 0
+        assert rerun.shard_hits == 6
+
+    def test_sigkilled_run_resumes_byte_identical(self, tmp_path):
+        """A real ``SIGKILL`` (no cleanup, no flush) mid-sweep: resuming
+        folds from whatever checkpoints/records hit the disk and matches
+        the uninterrupted run byte for byte."""
+        import json
+        import signal
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        repo_root = Path(__file__).resolve().parents[2]
+        driver = tmp_path / "driver.py"
+        driver.write_text(
+            "import json, os, signal, sys\n"
+            "from pathlib import Path\n"
+            "from repro.engine import ExecutionEngine, RunStore, SweepSpec\n"
+            "from repro.experiments.matrix import _cell as matrix_cell\n"
+            "KILL_AFTER = int(sys.argv[2])\n"
+            "RESUME = sys.argv[3] == 'resume'\n"
+            "CALLS = {'n': 0}\n"
+            "def cell(params, ctx):\n"
+            "    if CALLS['n'] == KILL_AFTER:\n"
+            "        os.kill(os.getpid(), signal.SIGKILL)\n"
+            "    CALLS['n'] += 1\n"
+            "    return matrix_cell(params, ctx)\n"
+            "spec = SweepSpec(\n"
+            "    name='sigkill-stream',\n"
+            "    cell=cell,\n"
+            "    axes=(('policy', ('mds', 'timeout-repair')),\n"
+            "          ('scenario', ('spot',))),\n"
+            "    trials=6, base_seed=1, quick=True, reducer='stats',\n"
+            ")\n"
+            "report = ExecutionEngine(\n"
+            "    jobs=1, store=RunStore(Path(sys.argv[1])),\n"
+            "    shard_size=2, resume=RESUME,\n"
+            ").run(spec)\n"
+            "print(json.dumps([[repr(k), v] for k, v in\n"
+            "                  sorted(report.values.items())]))\n"
+            "print('CALLS', CALLS['n'], file=sys.stderr)\n"
+        )
+
+        def run(store_dir, kill_after, mode="fresh"):
+            return subprocess.run(
+                [sys.executable, str(driver), str(store_dir),
+                 str(kill_after), mode],
+                capture_output=True,
+                text=True,
+                cwd=repo_root,
+                env={"PYTHONPATH": str(repo_root / "src"), "PATH": ""},
+            )
+
+        clean = run(tmp_path / "clean", -1)
+        assert clean.returncode == 0, clean.stderr
+
+        killed = run(tmp_path / "killed", 4)
+        assert killed.returncode == -signal.SIGKILL
+        # The first cell's fold reached the checkpoint log before the
+        # kill: every append is one O_APPEND write, nothing buffered.
+        store = RunStore(tmp_path / "killed")
+        (run_key,) = store.run_keys()
+        checkpoints = store.handle(run_key).cell_records()
+        assert [r["index"] for r in checkpoints] == [0]
+        assert checkpoints[0]["reducer"] == "stats"
+
+        resumed = run(tmp_path / "killed", -1, mode="resume")
+        assert resumed.returncode == 0, resumed.stderr
+        assert resumed.stdout == clean.stdout  # byte-identical tables
+        assert "CALLS 2" in resumed.stderr  # only the missing shards ran
+        json.loads(resumed.stdout)  # sanity: parseable summaries

@@ -56,6 +56,40 @@ class TestShardRecords:
         handle.append(_record("k3", [3.0]))
         assert [r["key"] for r in handle.records()] == ["k1", "k3"]
 
+    def test_checkpoint_log_round_trip(self, tmp_path):
+        handle = RunStore(tmp_path).open_run("r1", {})
+        first = {
+            "kind": "cell",
+            "index": 0,
+            "point": {"policy": "mds"},
+            "reducer": "stats",
+            "shards": 3,
+            "state": {"kind": "leaf", "state": {"count": 6}},
+        }
+        with handle.cell_writer() as writer:
+            writer.append(first)
+            writer.append({**first, "index": 1})
+        records = handle.cell_records()
+        assert [r["index"] for r in records] == [0, 1]
+        assert records[0] == first
+        # Checkpoints live in their own log: the shard log is untouched.
+        assert handle.records() == []
+
+    def test_torn_checkpoint_tail_is_skipped_and_sealed(self, tmp_path):
+        handle = RunStore(tmp_path).open_run("r1", {})
+        whole = {"kind": "cell", "index": 0, "state": {"n": 1}}
+        with handle.cell_writer() as writer:
+            writer.append(whole)
+        with open(handle.cells_path, "a") as f:
+            f.write('{"kind": "cell", "index": 1, "state": {"n"')  # killed
+        assert handle.cell_records() == [whole]
+        # The next writer seals the torn line; only that checkpoint is
+        # lost (its cell falls back to raw shard replay, tested at the
+        # engine layer in tests/engine/test_determinism.py).
+        with handle.cell_writer() as writer:
+            writer.append({**whole, "index": 2})
+        assert [r["index"] for r in handle.cell_records()] == [0, 2]
+
     def test_index_spans_runs_first_occurrence_wins(self, tmp_path):
         store = RunStore(tmp_path)
         store.open_run("r1", {}).append(_record("shared", [1.0]))
@@ -261,7 +295,15 @@ class TestOnDiskShape:
         handle = RunStore(tmp_path).open_run("deadbeef", {"sweep": "demo"})
         handle.append(_record("k", [0.5]))
         run_dir = tmp_path / "runs" / "deadbeef"
+        # The checkpoint log is lazy: no cells.jsonl until a fold lands.
         assert sorted(p.name for p in run_dir.iterdir()) == [
+            "manifest.json",
+            "shards.jsonl",
+        ]
+        with handle.cell_writer() as writer:
+            writer.append({"kind": "cell", "index": 0, "state": None})
+        assert sorted(p.name for p in run_dir.iterdir()) == [
+            "cells.jsonl",
             "manifest.json",
             "shards.jsonl",
         ]
@@ -269,3 +311,6 @@ class TestOnDiskShape:
         lines = (run_dir / "shards.jsonl").read_text().splitlines()
         assert len(lines) == 1
         assert json.loads(lines[0])["key"] == "k"
+        lines = (run_dir / "cells.jsonl").read_text().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["kind"] == "cell"

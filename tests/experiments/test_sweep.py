@@ -181,8 +181,11 @@ class TestCache:
         runner = SweepRunner(jobs=1, cache_dir=tmp_path)
         spec = _spec()
         runner.run(spec)
-        for path in tmp_path.glob("runs/*/shards.jsonl"):
-            path.write_text("{not json\n")
+        # Wiping both the raw shard records and the reducer checkpoints
+        # leaves the store nothing to serve from.
+        for name in ("shards.jsonl", "cells.jsonl"):
+            for path in tmp_path.glob(f"runs/*/{name}"):
+                path.write_text("{not json\n")
         result = runner.run(spec)
         assert result.cache_hits == 0
         # The torn lines stay (append-only log) but every shard is stored
@@ -193,6 +196,23 @@ class TestCache:
             assert lines[0] == "{not json"
             for line in lines[1:]:
                 json.loads(line)
+
+    def test_checkpoints_survive_corrupt_shard_records(self, tmp_path):
+        # The converse: with per-cell reducer checkpoints intact, losing
+        # every raw shard record costs nothing — completed cells restore
+        # from their checkpoints and nothing is recomputed.
+        markers = tmp_path / "markers"
+        markers.mkdir()
+        runner = SweepRunner(jobs=1, cache_dir=tmp_path / "cache")
+        spec = _spec(marker_dir=str(markers))
+        first = runner.run(spec)
+        n_invocations = len(list(markers.iterdir()))
+        for path in (tmp_path / "cache").glob("runs/*/shards.jsonl"):
+            path.write_text("{not json\n")
+        second = runner.run(spec)
+        assert second.values == first.values
+        assert second.cache_hits == 6  # served from cells.jsonl checkpoints
+        assert len(list(markers.iterdir())) == n_invocations  # no re-runs
 
     def test_default_cache_dir_env_override(self, monkeypatch, tmp_path):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "custom"))
