@@ -19,8 +19,9 @@ core-seconds (``seconds × cpus``).  Early trajectory rows predate the
 may lack whole sections (the ``--matrix`` / ``--engine`` / ``--events``
 benches were added over time); a metric is gated only against the rows
 that actually recorded it, and gated at all only when at least one
-earlier row did.  Fewer than two rows passes trivially: there is no
-trajectory to regress against yet.
+earlier row did.  Fewer than three rows passes trivially (with a logged
+notice): a median over a single earlier row is just that row, so there
+is no trajectory to regress against yet.
 
 The median — not the previous row — is the reference, so one lucky or
 unlucky run does not move the gate, and the threshold absorbs normal
@@ -150,10 +151,10 @@ def main(argv: list[str] | None = None) -> int:
         print(f"bench gate: {args.json} not found; nothing to gate")
         return 0
     rows = load_rows(args.json)
-    if len(rows) < 2:
+    if len(rows) < 3:
         print(
             f"bench gate: {len(rows)} row(s) in {args.json.name}; "
-            "need at least 2 for a trajectory — pass"
+            "need at least 3 for a median trajectory — pass"
         )
         return 0
     report, regressions = gate(rows, args.threshold)

@@ -12,15 +12,18 @@ Scans README.md and docs/*.md (by default) for
 * experiment names in ``python -m repro experiments <name>`` examples —
   each must be registered in ``repro.experiments.ALL_EXPERIMENTS``;
 * policy / scenario names passed via ``--policy`` / ``--scenario`` on
-  ``python -m repro matrix`` / ``python -m repro fuzz`` example lines —
-  each must be registered, where scenarios may be composition
-  expressions (quoted, e.g. ``--scenario 'overlay(rack,bursty)'``) that
-  must resolve through the expression parser;
+  ``python -m repro matrix`` / ``fuzz`` / ``tune`` example lines — each
+  must be registered, where scenarios may be composition expressions and
+  policies adaptive expressions (quoted, e.g. ``--scenario
+  'overlay(rack,bursty)'`` / ``--policy 'adaptive(overdecomp,factor=4:5)'``)
+  that must resolve through the respective expression parser;
 * backticked scenario composition expressions anywhere in the text
   (``overlay(rack,bursty)``, ``mix(bursty,constant,weight=0.7)``) — any
   expression whose head is a registered scenario or combinator must
   resolve, so algebra examples can't reference unknown combinators,
-  leaves, or parameters;
+  leaves, or parameters — and likewise backticked
+  ``adaptive(<base>, knob=v1:v2)`` policy expressions, which must parse
+  and validate against the base policy's knobs;
 * every ``--flag`` on a ``python -m repro <subcommand>`` example line —
   each must be accepted by that subcommand's argument parser (so docs
   can't advertise ``--executor`` / ``--resume`` spellings the CLI does
@@ -55,12 +58,12 @@ PATHLIKE = re.compile(
 )
 EXPERIMENT_CMD = re.compile(r"python -m repro experiments ((?:[a-z0-9]+ )*[a-z0-9]+)")
 SWEEP_CMD_LINE = re.compile(
-    r"python -m repro (?:matrix|fuzz|stream)(?:[^\n]*\\\n)*[^\n]*"
+    r"python -m repro (?:matrix|fuzz|stream|tune)(?:[^\n]*\\\n)*[^\n]*"
 )
 REPRO_CMD_LINE = re.compile(
     r"python -m repro ([a-z]+)((?:[^\n]*\\\n)*[^\n]*)"
 )
-POLICY_FLAG = re.compile(r"--policy ([a-z0-9\-]+)")
+POLICY_FLAG = re.compile(r"--policy (?:'([^']+)'|([a-z0-9\-]+))")
 SCENARIO_FLAG = re.compile(r"--scenario (?:'([^']+)'|([a-z0-9\-]+))")
 COMPOSED_EXPR = re.compile(r"`([a-z_][a-z0-9_\-]*\([^`\s]*\))`")
 CLI_FLAG = re.compile(r"(--[a-z][a-z0-9\-]*)")
@@ -158,7 +161,7 @@ def check_file(path: Path) -> list[str]:
                 errors.append(f"{path.name}: unknown experiment `{name}`")
     from repro.cluster.compose import available_combinators
     from repro.cluster.scenarios import available_scenarios, get_scenario
-    from repro.scheduling.policies import available_policies
+    from repro.scheduling.policies import get_policy
 
     def _scenario_resolves(name: str) -> bool:
         try:
@@ -167,23 +170,39 @@ def check_file(path: Path) -> list[str]:
             return False
         return True
 
+    def _policy_resolves(name: str) -> bool:
+        try:
+            get_policy(name)  # parses adaptive(...) expressions too
+        except KeyError:
+            return False
+        return True
+
     for command in SWEEP_CMD_LINE.findall(text):
-        for name in POLICY_FLAG.findall(command):
-            if name not in available_policies():
+        for quoted, bare in POLICY_FLAG.findall(command):
+            name = quoted or bare
+            if not _policy_resolves(name):
                 errors.append(f"{path.name}: unknown policy `{name}`")
         for quoted, bare in SCENARIO_FLAG.findall(command):
             name = quoted or bare
             if not _scenario_resolves(name):
                 errors.append(f"{path.name}: unknown scenario `{name}`")
     # Composition expressions anywhere in the text: validate any whose
-    # head is a registered scenario or combinator (other backticked
-    # call-shaped code — `run(quick=True)` etc. — is left alone).
+    # head is a registered scenario or combinator — or the adaptive
+    # policy wrapper — (other backticked call-shaped code —
+    # `run(quick=True)` etc. — is left alone).
     for expr in sorted(set(COMPOSED_EXPR.findall(text))):
+        if "..." in expr or "<" in expr:
+            continue  # grammar placeholder, not a concrete expression
         head = expr.split("(", 1)[0]
         if head in available_scenarios() or head in available_combinators():
             if not _scenario_resolves(expr):
                 errors.append(
                     f"{path.name}: unresolvable scenario expression `{expr}`"
+                )
+        elif head == "adaptive":
+            if not _policy_resolves(expr):
+                errors.append(
+                    f"{path.name}: unresolvable policy expression `{expr}`"
                 )
     from repro.cluster.events import available_backends
     from repro.engine.executors import available_executors

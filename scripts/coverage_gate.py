@@ -1,0 +1,198 @@
+"""Line-coverage floor over ``src/repro``, with a stdlib fallback.
+
+Usage:  python scripts/coverage_gate.py [--floor PERCENT] [pytest args...]
+
+Runs the tier-1 suite under line tracing and fails (exit 1) when the
+measured line coverage of ``src/repro`` drops below :data:`FLOOR` — the
+baseline measured when the gate was introduced, so refactors cannot
+silently shed tested behaviour.  ``scripts/smoke.sh cov`` is the
+canonical entry point.
+
+Two measurement engines, picked automatically:
+
+* ``pytest-cov`` when the plugin is importable — the suite runs in a
+  subprocess with ``--cov=repro`` and the total is parsed from its
+  report;
+* otherwise a **stdlib** ``sys.settrace`` collector (this container has
+  no coverage package, and the repo policy is to gate missing deps, not
+  install them): the suite runs in-process, the global trace function
+  prunes every frame outside ``src/repro`` at call time (so hot numpy
+  and test frames pay nothing), and executed lines are set-collected.
+
+The denominator is the same for both: every executable line of every
+``src/repro`` module, enumerated by compiling each file and walking the
+nested code objects' ``co_lines()`` tables.  Lines only a pool
+subprocess executes (worker-side shard evaluation) are invisible to the
+in-process tracer, so the fallback floor is calibrated against the
+fallback engine — the two engines' totals must not be compared.
+
+By default the suite runs with ``-m "not slow"`` plus ``-q -x``; any
+extra argv is appended to the pytest invocation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import threading
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC_ROOT = REPO_ROOT / "src" / "repro"
+
+#: Tier-1 line coverage of ``src/repro`` measured with the stdlib tracer
+#: when the gate was introduced (92.72% at the time, floored with a
+#: small allowance for line-table drift).  Raise it as coverage grows;
+#: never lower it to make a failing run pass.
+FLOOR = 92.0
+
+#: Default pytest selection: the full tier-1 suite minus the slow-marked
+#: drills (their work happens in subprocesses the tracer cannot see).
+DEFAULT_PYTEST_ARGS = ["-q", "-x", "-m", "not slow", "-p", "no:cacheprovider"]
+
+
+def executable_lines(root: Path) -> dict[str, set[int]]:
+    """Every executable line per source file, from ``co_lines`` tables."""
+    table: dict[str, set[int]] = {}
+    for path in sorted(root.rglob("*.py")):
+        code = compile(path.read_text(), str(path), "exec")
+        lines: set[int] = set()
+        stack = [code]
+        while stack:
+            obj = stack.pop()
+            for const in obj.co_consts:
+                if hasattr(const, "co_lines"):
+                    stack.append(const)
+            lines.update(
+                line for _, _, line in obj.co_lines() if line is not None
+            )
+        table[str(path)] = lines
+    return table
+
+
+class LineCollector:
+    """A ``sys.settrace`` hook keeping only ``src/repro`` line events."""
+
+    def __init__(self, prefix: str):
+        self.prefix = prefix
+        self.executed: dict[str, set[int]] = {}
+
+    def _local(self, frame, event, arg):
+        if event == "line":
+            self.executed.setdefault(
+                frame.f_code.co_filename, set()
+            ).add(frame.f_lineno)
+        return self._local
+
+    def __call__(self, frame, event, arg):
+        if event != "call":
+            return None
+        filename = frame.f_code.co_filename
+        if not filename.startswith(self.prefix):
+            return None  # prune: no line events for this frame at all
+        self.executed.setdefault(filename, set()).add(frame.f_lineno)
+        return self._local
+
+    def install(self) -> None:
+        threading.settrace(self)
+        sys.settrace(self)
+
+    def uninstall(self) -> None:
+        sys.settrace(None)
+        threading.settrace(None)
+
+
+def _percent(executed: dict[str, set[int]], universe: dict[str, set[int]]):
+    total = sum(len(lines) for lines in universe.values())
+    hit = sum(
+        len(universe[path] & executed.get(path, set())) for path in universe
+    )
+    return 100.0 * hit / total if total else 100.0, hit, total
+
+
+def run_with_stdlib_tracer(pytest_args: list[str]) -> tuple[float, str]:
+    import pytest
+
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    universe = executable_lines(SRC_ROOT)
+    collector = LineCollector(str(SRC_ROOT))
+    collector.install()
+    try:
+        exit_code = pytest.main(pytest_args)
+    finally:
+        collector.uninstall()
+    if exit_code != 0:
+        raise SystemExit(f"coverage gate: pytest failed (exit {exit_code})")
+    percent, hit, total = _percent(collector.executed, universe)
+    return percent, f"{hit}/{total} lines via stdlib settrace"
+
+
+def run_with_pytest_cov(pytest_args: list[str]) -> tuple[float, str]:
+    import json
+    import subprocess
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        report = Path(tmp) / "coverage.json"
+        proc = subprocess.run(
+            [
+                sys.executable, "-m", "pytest",
+                f"--cov={SRC_ROOT}", "--cov-report", f"json:{report}",
+                *pytest_args,
+            ],
+            cwd=REPO_ROOT,
+            env={
+                **__import__("os").environ,
+                "PYTHONPATH": str(REPO_ROOT / "src"),
+            },
+        )
+        if proc.returncode != 0:
+            raise SystemExit(
+                f"coverage gate: pytest failed (exit {proc.returncode})"
+            )
+        totals = json.loads(report.read_text())["totals"]
+        return (
+            float(totals["percent_covered"]),
+            f"{totals['covered_lines']}/{totals['num_statements']} "
+            "statements via pytest-cov",
+        )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="fail when src/repro line coverage drops below the floor"
+    )
+    parser.add_argument(
+        "--floor",
+        type=float,
+        default=FLOOR,
+        metavar="PERCENT",
+        help=f"minimum acceptable coverage (default: {FLOOR})",
+    )
+    args, pytest_args = parser.parse_known_args(argv)
+    pytest_args = pytest_args or list(DEFAULT_PYTEST_ARGS)
+
+    try:
+        import pytest_cov  # noqa: F401
+        engine = run_with_pytest_cov
+    except ImportError:
+        engine = run_with_stdlib_tracer
+    percent, detail = engine(pytest_args)
+
+    print(
+        f"coverage gate: {percent:.2f}% of src/repro "
+        f"({detail}; floor {args.floor:.2f}%)"
+    )
+    if percent < args.floor:
+        print(
+            f"coverage gate: FAIL — {percent:.2f}% is below the "
+            f"{args.floor:.2f}% floor",
+            file=sys.stderr,
+        )
+        return 1
+    print("coverage gate OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -3,15 +3,25 @@
 # sweep exercising --trials / --jobs / the on-disk cache, and one
 # repair-armed batched scenario sweep.
 #
-# Usage:  sh scripts/smoke.sh [bench]
+# Usage:  sh scripts/smoke.sh [bench|cov]
 #
 # The optional `bench` target additionally runs scripts/bench_sweep.py and
 # appends its timings to BENCH_SWEEP.json, so the perf trajectory is
-# tracked across PRs.
+# tracked across PRs.  The optional `cov` target runs the suite under
+# scripts/coverage_gate.py instead, failing when src/repro line coverage
+# drops below the gate's floor (pytest-cov when installed, a stdlib
+# settrace tracer otherwise).
 set -e
 cd "$(dirname "$0")/.."
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 export PYTHONPATH
+
+if [ "$1" = "cov" ]; then
+    echo "== tier-1 tests under the line-coverage gate =="
+    python scripts/coverage_gate.py
+    echo "smoke cov OK"
+    exit 0
+fi
 
 echo "== tier-1 tests =="
 python -m pytest -x -q

@@ -36,6 +36,16 @@ Commands
     the flag); an unknown name exits 2 listing the registry.
     ``--backend`` selects the simulator core (``closed`` / ``event`` —
     the discrete-event engine with explicit network links).
+``tune [--policy NAME] [--scenario NAME] [--backend NAME] [--quick]
+[--trials N] [--seed S]``
+    Run one adaptive policy cell (see :mod:`repro.scheduling.adaptive`)
+    at the matrix geometry and print its per-trial totals plus the full
+    controller trace — per-segment knob choices and conformal bands for
+    the ``adaptive(...)`` wrappers, the probe scores and per-scenario
+    commitment for ``policy-auto`` — as sorted JSON.  ``--policy`` accepts
+    a registered adaptive name or an ``adaptive(<base>, knob=v1:v2, ...)``
+    expression; a non-adaptive policy, unknown knob, or invalid bound
+    exits 2 naming the offender, mirroring the unknown-policy contract.
 ``fuzz [--scenarios N] [--population-seed S] [--policy P ...]
 [--scenario S ...] [--backend NAME] [--summary-only] [--quick]
 [--trials N] [--jobs N] [--executor NAME] [--shard-size N] [--resume]
@@ -174,14 +184,90 @@ def _cmd_matrix(args: argparse.Namespace) -> int:
         print(f"error: --resume: {error}", file=sys.stderr)
         return 2
     elapsed = time.perf_counter() - start
-    tables = (
-        [result.summary, result.waste] if args.summary_only else result.tables()
-    )
+    if args.summary_only:
+        tables = [result.summary, result.waste]
+        if result.adaptive is not None:
+            tables.append(result.adaptive)
+    else:
+        tables = result.tables()
     for table in tables:
         print(table.format_table())
         print(flush=True)
     # Timing is diagnostic and lands on stderr: stdout stays
     # byte-deterministic across identical-seed re-runs.
+    print(f"   [{elapsed:.1f}s]", file=sys.stderr)
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.cluster.scenarios import get_scenario
+    from repro.engine.plan import SEED_STRIDE, SweepContext
+    from repro.experiments.matrix import COVERAGE, N_WORKERS
+    from repro.scheduling.policies import (
+        available_policies,
+        build_policy,
+        get_policy,
+    )
+
+    try:
+        spec = get_policy(args.policy)
+        get_scenario(args.scenario)
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+    if "adaptive" not in spec.tags:
+        adaptive = ", ".join(
+            n for n in available_policies() if "adaptive" in get_policy(n).tags
+        )
+        print(
+            f"error: policy {args.policy!r} is not adaptive and records no "
+            f"controller trace; adaptive policies: {adaptive}, or an "
+            "adaptive(<base>, knob=v1:v2, ...) expression",
+            file=sys.stderr,
+        )
+        return 2
+    ctx = SweepContext(
+        quick=args.quick,
+        base_seed=args.seed,
+        seeds=tuple(args.seed + SEED_STRIDE * t for t in range(args.trials)),
+    )
+    runner = build_policy(spec.name, N_WORKERS, COVERAGE, backend=args.backend)
+    # The matrix cell geometry, so a tuned policy's totals line up with
+    # its matrix rows.
+    rows, cols = (480, 120) if args.quick else (2400, 600)
+    iterations = 4 if args.quick else 15
+    trace: list = []
+    start = time.perf_counter()
+    result = runner.run_scenario(
+        args.scenario,
+        ctx,
+        rows=rows,
+        cols=cols,
+        iterations=iterations,
+        trace=trace,
+    )
+    elapsed = time.perf_counter() - start
+    # Sorted JSON keeps stdout byte-deterministic across identical-seed
+    # re-runs (the determinism contract every sweep surface honours).
+    print(
+        json.dumps(
+            {
+                "policy": spec.name,
+                "scenario": args.scenario,
+                "backend": args.backend,
+                "seed": args.seed,
+                "trials": args.trials,
+                "iterations": iterations,
+                "total": result["total"],
+                "wasted": result["wasted"],
+                "trace": trace,
+            },
+            sort_keys=True,
+            indent=2,
+        )
+    )
     print(f"   [{elapsed:.1f}s]", file=sys.stderr)
     return 0
 
@@ -406,12 +492,52 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print only the two summary grids, not the per-scenario tables",
     )
+    from repro.engine.options import positive_int
+
+    tune_p = sub.add_parser(
+        "tune",
+        help="run one adaptive policy cell and dump its controller trace",
+    )
+    tune_p.add_argument(
+        "--policy",
+        default="adaptive-timeout",
+        metavar="NAME",
+        help="adaptive policy (a registered adaptive-* name, policy-auto, "
+        "or an adaptive(<base>, knob=v1:v2, ...) expression; default: "
+        "adaptive-timeout)",
+    )
+    tune_p.add_argument(
+        "--scenario",
+        default="bursty",
+        metavar="NAME",
+        help="straggler scenario of the cell (default: bursty)",
+    )
+    tune_p.add_argument(
+        "--backend",
+        type=backend_name,
+        default="closed",
+        metavar="NAME",
+        help="simulator core: closed (analytic, default) or event "
+        "(discrete-event engine with explicit network links)",
+    )
+    tune_p.add_argument(
+        "--quick", action="store_true", help="reduced CI-scale configuration"
+    )
+    tune_p.add_argument(
+        "--trials",
+        type=positive_int,
+        default=2,
+        metavar="N",
+        help="seeded Monte-Carlo trials (default: 2)",
+    )
+    tune_p.add_argument(
+        "--seed", type=int, default=0, help="base seed of trial 0 (default: 0)"
+    )
     fuzz_p = sub.add_parser(
         "fuzz",
         help="policy tournament over fuzzer-generated scenarios",
         parents=[sweep_flags],
     )
-    from repro.engine.options import positive_int
 
     fuzz_p.add_argument(
         "--scenarios",
@@ -511,6 +637,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_policies(args.names)
     if args.command == "matrix":
         return _cmd_matrix(args)
+    if args.command == "tune":
+        return _cmd_tune(args)
     if args.command == "fuzz":
         return _cmd_fuzz(args)
     if args.command == "stream":

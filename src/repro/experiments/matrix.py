@@ -78,7 +78,13 @@ def _cell(params: dict, ctx: SweepContext) -> dict:
 
 @dataclass
 class MatrixResult:
-    """The full matrix: per-scenario tables plus the two summary grids."""
+    """The full matrix: per-scenario tables plus the summary grids.
+
+    ``adaptive`` is the headline adaptive-vs-best-fixed grid — one row per
+    ``adaptive``-tagged policy, the paired mean-latency ratio against the
+    *best fixed* policy of each scenario column — present whenever the
+    swept policies include both kinds.
+    """
 
     policies: tuple[str, ...]
     scenarios: tuple[str, ...]
@@ -87,13 +93,17 @@ class MatrixResult:
     summary: ExperimentResult
     waste: ExperimentResult
     backend: str = "closed"
+    adaptive: ExperimentResult | None = None
 
     def tables(self) -> list[ExperimentResult]:
         """Every table in print order: per-scenario, then the grids."""
-        return [self.per_scenario[s] for s in self.scenarios] + [
+        tables = [self.per_scenario[s] for s in self.scenarios] + [
             self.summary,
             self.waste,
         ]
+        if self.adaptive is not None:
+            tables.append(self.adaptive)
+        return tables
 
 
 def run_matrix(
@@ -200,6 +210,48 @@ def run_matrix(
         "unless repair is armed; s2c2-oracle lower-bounds the learned "
         "forecasters; mds is 1 by construction"
     )
+
+    # The headline adaptive grid: every adaptive-tagged row against the
+    # best *fixed* policy of each scenario column, paired per trial on the
+    # identical draws (see repro.scheduling.adaptive).
+    adaptive_rows = tuple(
+        p for p in policies if "adaptive" in get_policy(p).tags
+    )
+    fixed_rows = tuple(p for p in policies if p not in adaptive_rows)
+    adaptive_table = None
+    if adaptive_rows and fixed_rows:
+        best_fixed = {
+            s: min(
+                fixed_rows,
+                key=lambda p: (per_scenario[s].value(p, "total"), p),
+            )
+            for s in scenarios
+        }
+        adaptive_table = ExperimentResult(
+            name="matrix-adaptive",
+            description=(
+                "adaptive vs best-fixed per scenario (paired mean-latency "
+                "ratio; < 1 beats the best fixed policy of that column)"
+            ),
+            columns=("policy",) + scenarios,
+        )
+        for policy in adaptive_rows:
+            ratios = []
+            for s in scenarios:
+                total = np.asarray(
+                    swept.get(policy=policy, scenario=s, backend=backend)["total"]
+                )
+                best = np.asarray(
+                    swept.get(policy=best_fixed[s], scenario=s, backend=backend)[
+                        "total"
+                    ]
+                )
+                ratios.append(float(np.mean(total / best)))
+            adaptive_table.add_row(policy, *ratios)
+        adaptive_table.notes = "best fixed per scenario: " + ", ".join(
+            f"{s}={best_fixed[s]}" for s in scenarios
+        )
+
     return MatrixResult(
         policies=policies,
         scenarios=scenarios,
@@ -208,6 +260,7 @@ def run_matrix(
         summary=summary,
         waste=waste,
         backend=backend,
+        adaptive=adaptive_table,
     )
 
 

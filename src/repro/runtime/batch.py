@@ -106,6 +106,26 @@ class BatchRunMetrics:
     def __len__(self) -> int:
         return len(self._latency)
 
+    def round_arrays(self) -> dict[str, np.ndarray]:
+        """Stacked per-round measurement tensors, keyed like ``add_round``.
+
+        ``latency`` / ``repaired`` stack to ``(rounds, trials)``; the rest
+        to ``(rounds, trials, workers)``.  The adaptive controller
+        (:mod:`repro.scheduling.adaptive`) composes segment runs through
+        here: scattering these back into a master metrics object through
+        :meth:`add_round` reproduces the monolithic aggregates exactly.
+        """
+        self._require_rounds()
+        return {
+            "latency": np.stack(self._latency),
+            "computed": np.stack(self._computed),
+            "used": np.stack(self._used),
+            "assigned": np.stack(self._assigned),
+            "predicted": np.stack(self._predicted),
+            "actual": np.stack(self._actual),
+            "repaired": np.stack(self._repaired),
+        }
+
     def _require_rounds(self) -> None:
         if not self._latency:
             raise RuntimeError("no rounds recorded yet")

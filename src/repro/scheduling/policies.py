@@ -31,7 +31,13 @@ The built-ins cover the paper end to end: the §3 baselines (``uncoded``,
 ``replication``, ``overdecomp``, ``mds``), the §4.1/§4.2 schedulers
 (``s2c2-basic``, ``s2c2-general``), the §4.3 repair (``timeout-repair``),
 and the §6 prediction-backed variants (``s2c2-lstm`` / ``s2c2-ar`` /
-``s2c2-lastvalue`` / ``s2c2-oracle`` / ``s2c2-stale``).  See
+``s2c2-lastvalue`` / ``s2c2-oracle`` / ``s2c2-stale``).  Beyond the
+paper, the closed-loop adaptive layer (:mod:`repro.scheduling.adaptive`)
+registers ``adaptive-timeout`` and ``adaptive-overdecomp`` — online
+conformal knob tuning over a base policy — plus the ``policy-auto``
+meta-policy, and :func:`get_policy` resolves ad-hoc
+``adaptive(<base>, knob=v1:v2, ...)`` expressions the same way the
+scenario registry resolves composition expressions.  See
 ``docs/policies.md`` for the paper mapping of each and
 ``docs/results.md`` for the generated policy × scenario results handbook.
 """
@@ -94,6 +100,11 @@ class PolicySpec:
     defaults:
         Declared ``(param, value)`` defaults; overrides outside this set
         are rejected, keeping sweep axes typo-safe.
+    tags:
+        Free-form labels; ``"adaptive"`` marks the closed-loop entries
+        (:mod:`repro.scheduling.adaptive`), which the ``policy-auto``
+        probe and the matrix's adaptive-vs-best-fixed grid use to split
+        the registry into fixed and adaptive rows.
     """
 
     name: str
@@ -102,6 +113,7 @@ class PolicySpec:
     figures: tuple[str, ...]
     builder: Callable[..., "PolicyRunner"]
     defaults: tuple[tuple[str, Any], ...] = ()
+    tags: tuple[str, ...] = ()
 
 
 _REGISTRY: dict[str, PolicySpec] = {}
@@ -112,6 +124,7 @@ def register_policy(
     summary: str,
     paper: str = "",
     figures: tuple[str, ...] = (),
+    tags: tuple[str, ...] = (),
     **defaults: Any,
 ):
     """Decorator: register ``builder(n_workers, k, **params)`` by name.
@@ -130,6 +143,7 @@ def register_policy(
             figures=tuple(figures),
             builder=builder,
             defaults=tuple(sorted(defaults.items())),
+            tags=tuple(tags),
         )
         return builder
 
@@ -142,14 +156,28 @@ def available_policies() -> tuple[str, ...]:
 
 
 def get_policy(name: str) -> PolicySpec:
-    """Look up one policy; ``KeyError`` lists the registry on a miss."""
+    """Look up one policy; ``KeyError`` lists the registry on a miss.
+
+    ``adaptive(<base>, knob=v1:v2, …)`` expressions (see
+    :mod:`repro.scheduling.adaptive`) resolve **on demand** without prior
+    registration — mirroring composed scenario names — so adaptive
+    wrappers work anywhere a base name does: CLI flags, sweep axes, and
+    pool worker processes.  Malformed expressions (unknown base, unknown
+    knob, invalid bound) raise the same registry-listing ``KeyError``
+    shape as a plain miss, naming the offending knob.
+    """
     try:
         return _REGISTRY[name]
     except KeyError:
-        raise KeyError(
-            f"unknown policy {name!r}; available: "
-            f"{', '.join(available_policies())}"
-        ) from None
+        pass
+    if "(" in name:
+        from repro.scheduling.adaptive import adaptive_spec
+
+        return adaptive_spec(name)
+    raise KeyError(
+        f"unknown policy {name!r}; available: "
+        f"{', '.join(available_policies())}"
+    )
 
 
 def build_policy(
@@ -839,4 +867,85 @@ def _build_s2c2_stale(
         num_chunks,
         slack,
         lambda scenario, ctx, n: _stale_predictor(scenario, ctx, n, miss_rate),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Closed-loop adaptive entries (see repro.scheduling.adaptive)
+# ---------------------------------------------------------------------------
+
+
+@register_policy(
+    "adaptive-timeout",
+    "timeout-repair with the online conformal controller tuning slack",
+    paper="beyond paper: ROADMAP closed-loop adaptive tuning",
+    figures=("matrix",),
+    tags=("adaptive",),
+    knobs="slack=0.05:0.15:0.3",
+    cadence=1,
+    alpha=0.2,
+)
+def _build_adaptive_timeout(
+    n_workers: int, k: int, knobs: str, cadence: int, alpha: float
+):
+    from repro.scheduling.adaptive import make_adaptive
+
+    return make_adaptive(
+        "adaptive-timeout",
+        "timeout-repair",
+        n_workers,
+        k,
+        knobs=knobs,
+        cadence=cadence,
+        alpha=alpha,
+    )
+
+
+@register_policy(
+    "adaptive-overdecomp",
+    "over-decomposition with the online controller tuning the factor",
+    paper="beyond paper: ROADMAP closed-loop adaptive tuning",
+    figures=("matrix",),
+    tags=("adaptive",),
+    knobs="factor=4:5",
+    cadence=1,
+    alpha=0.2,
+)
+def _build_adaptive_overdecomp(
+    n_workers: int, k: int, knobs: str, cadence: int, alpha: float
+):
+    from repro.scheduling.adaptive import make_adaptive
+
+    return make_adaptive(
+        "adaptive-overdecomp",
+        "overdecomp",
+        n_workers,
+        k,
+        knobs=knobs,
+        cadence=cadence,
+        alpha=alpha,
+    )
+
+
+@register_policy(
+    "policy-auto",
+    "seeded probe across the fixed registry, committing per scenario",
+    paper="beyond paper: ROADMAP closed-loop adaptive tuning",
+    figures=("matrix",),
+    tags=("adaptive", "meta"),
+    probe_trials=3,
+    alpha=0.2,
+)
+def _build_policy_auto(n_workers: int, k: int, probe_trials: int, alpha: float):
+    from repro.scheduling.adaptive import AutoPolicyRunner
+
+    check_positive_int(probe_trials, "probe_trials")
+    if not 0 < alpha < 1:
+        raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+    return AutoPolicyRunner(
+        policy="policy-auto",
+        n_workers=n_workers,
+        k=k,
+        probe_trials=probe_trials,
+        alpha=alpha,
     )

@@ -298,6 +298,7 @@ class TestReducerCheckpoints:
         assert _CALLS["count"] == 0
         assert rerun.shard_hits == 6
 
+    @pytest.mark.slow
     def test_sigkilled_run_resumes_byte_identical(self, tmp_path):
         """A real ``SIGKILL`` (no cleanup, no flush) mid-sweep: resuming
         folds from whatever checkpoints/records hit the disk and matches

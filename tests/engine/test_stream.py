@@ -102,6 +102,7 @@ class TestFlatMemory:
         )
 
 
+@pytest.mark.slow
 @pytest.mark.skipif(
     not os.environ.get("REPRO_STREAM_TRIALS"),
     reason="set REPRO_STREAM_TRIALS (e.g. 1000000) to run the "

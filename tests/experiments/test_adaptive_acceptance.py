@@ -1,0 +1,122 @@
+"""Statistical acceptance gate for the closed-loop adaptive layer.
+
+Fixed-seed sweep over the full scenario registry (the exact
+configuration ``scripts/gen_results_docs.py`` renders into
+``docs/results.md``), with pinned tolerances:
+
+* ``policy-auto``'s mean normalised latency (the matrix summary-grid row
+  mean — per-scenario ratios to ``mds``, paired per trial, averaged
+  equally across scenarios) is **no worse than every fixed registry
+  policy's** — the seeded probe must find the per-scenario best, so the
+  meta-policy dominates any one fixed choice;
+* each ``adaptive-*`` wrapper's mean paired per-scenario latency ratio
+  against its own base policy stays **within 2 %** — online exploration
+  must pay for itself across the registry, not quietly regress the
+  policy it wraps.
+
+Everything here is a deterministic function of ``(seed=0, trials=2,
+quick)``: a failure is a real behaviour change in the controller or a
+policy, never sampling noise.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine.plan import SEED_STRIDE, SweepContext
+from repro.experiments.matrix import run_matrix
+from repro.scheduling.policies import build_policy, get_policy
+
+SEED = 0
+TRIALS = 2
+
+#: Wrapper → wrapped base, for the no-regression bound.
+WRAPPERS = {
+    "adaptive-timeout": "timeout-repair",
+    "adaptive-overdecomp": "overdecomp",
+}
+
+#: Pinned regression tolerance for the adaptive wrappers.
+WRAPPER_TOLERANCE = 1.02
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return run_matrix(quick=True, seed=SEED, trials=TRIALS)
+
+
+def _mean_normalised(result, policy: str) -> float:
+    return float(
+        np.mean([result.summary.value(policy, s) for s in result.scenarios])
+    )
+
+
+class TestPolicyAutoDominates:
+    def test_policy_auto_beats_or_ties_every_fixed_policy(self, matrix):
+        auto = _mean_normalised(matrix, "policy-auto")
+        fixed = [
+            p for p in matrix.policies if "adaptive" not in get_policy(p).tags
+        ]
+        assert fixed
+        for policy in fixed:
+            assert auto <= _mean_normalised(matrix, policy) + 1e-9, (
+                f"policy-auto mean normalised latency {auto:.6f} exceeds "
+                f"fixed policy {policy!r}"
+            )
+
+    def test_adaptive_grid_reports_every_adaptive_row(self, matrix):
+        assert matrix.adaptive is not None
+        rows = {row[0] for row in matrix.adaptive.rows}
+        assert {"policy-auto", *WRAPPERS} <= rows
+
+    def test_policy_auto_matches_best_fixed_exactly_per_scenario(self, matrix):
+        # The probe commits to a fixed registry policy per scenario, so
+        # every policy-auto cell equals its committed policy's cell — the
+        # adaptive grid row is exactly 1.0 wherever the commitment is the
+        # per-scenario best.
+        for scenario in matrix.scenarios:
+            ratio = matrix.adaptive.value("policy-auto", scenario)
+            assert ratio <= 1.0 + 1e-9
+
+
+class TestWrappersNeverRegressTheirBase:
+    @pytest.fixture(scope="class")
+    def paired_totals(self):
+        ctx = SweepContext(
+            quick=True,
+            base_seed=SEED,
+            seeds=tuple(SEED + SEED_STRIDE * t for t in range(TRIALS)),
+        )
+        scenarios = None
+
+        def totals(name):
+            runner = build_policy(name, 12, 8)
+            return {
+                s: np.asarray(
+                    runner.run_scenario(
+                        s, ctx, rows=480, cols=120, iterations=4
+                    )["total"]
+                )
+                for s in scenarios
+            }
+
+        from repro.cluster.scenarios import available_scenarios
+
+        scenarios = available_scenarios()
+        return {
+            name: totals(name)
+            for name in (*WRAPPERS, *set(WRAPPERS.values()))
+        }
+
+    @pytest.mark.parametrize("wrapper", sorted(WRAPPERS))
+    def test_wrapper_within_tolerance_of_base(self, paired_totals, wrapper):
+        base = WRAPPERS[wrapper]
+        ratios = [
+            float(np.mean(paired_totals[wrapper][s] / paired_totals[base][s]))
+            for s in paired_totals[base]
+        ]
+        mean_ratio = float(np.mean(ratios))
+        assert mean_ratio <= WRAPPER_TOLERANCE, (
+            f"{wrapper} regresses {base} by {100 * (mean_ratio - 1):.1f}% "
+            f"(mean paired per-scenario ratio {mean_ratio:.4f}; "
+            f"per-scenario {dict(zip(paired_totals[base], ratios))})"
+        )

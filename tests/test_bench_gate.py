@@ -1,0 +1,75 @@
+"""The bench regression gate's short-trajectory and regression contracts.
+
+``scripts/bench_gate.py`` compares the newest ``BENCH_SWEEP.json`` row
+against the median of every earlier row.  With fewer than three rows the
+median of "every earlier row" is a single run — pure machine-load noise —
+so the gate must pass trivially (with a logged notice), and only start
+gating once a real trajectory exists.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load_gate():
+    spec = importlib.util.spec_from_file_location(
+        "bench_gate", REPO_ROOT / "scripts" / "bench_gate.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _row(seconds: float) -> dict:
+    return {"cpus": 1, "matrix": {"closed": seconds}}
+
+
+def _write(tmp_path, rows) -> Path:
+    path = tmp_path / "BENCH_SWEEP.json"
+    path.write_text("".join(json.dumps(row) + "\n" for row in rows))
+    return path
+
+
+def test_missing_file_passes(tmp_path, capsys):
+    gate = _load_gate()
+    assert gate.main(["--json", str(tmp_path / "absent.json")]) == 0
+    assert "nothing to gate" in capsys.readouterr().out
+
+
+def test_zero_one_and_two_rows_pass_with_notice(tmp_path, capsys):
+    gate = _load_gate()
+    for rows in ([], [_row(1.0)], [_row(1.0), _row(50.0)]):
+        path = _write(tmp_path, rows)
+        assert gate.main(["--json", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert f"{len(rows)} row(s)" in out
+        assert "need at least 3" in out
+
+
+def test_three_steady_rows_pass(tmp_path, capsys):
+    gate = _load_gate()
+    path = _write(tmp_path, [_row(1.0), _row(1.1), _row(1.05)])
+    assert gate.main(["--json", str(path)]) == 0
+    assert "bench gate OK" in capsys.readouterr().out
+
+
+def test_three_rows_with_regression_fail(tmp_path, capsys):
+    gate = _load_gate()
+    path = _write(tmp_path, [_row(1.0), _row(1.1), _row(5.0)])
+    assert gate.main(["--json", str(path)]) == 1
+    captured = capsys.readouterr()
+    assert "REGRESSION" in captured.out
+    assert "matrix.closed" in captured.err
+
+
+def test_two_row_pass_is_not_a_silent_skip_of_real_regressions(tmp_path):
+    # The <3 short-circuit must not swallow a genuine 3-row regression:
+    # appending one more row to a passing 2-row trajectory arms the gate.
+    gate = _load_gate()
+    path = _write(tmp_path, [_row(1.0), _row(9.0)])
+    assert gate.main(["--json", str(path)]) == 0
+    path = _write(tmp_path, [_row(1.0), _row(1.0), _row(9.0)])
+    assert gate.main(["--json", str(path)]) == 1

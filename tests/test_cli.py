@@ -356,3 +356,102 @@ class TestCliValidation:
         ]
         assert main(argv) == 0
         assert "fig02" in capsys.readouterr().out
+
+
+class TestAdaptiveCli:
+    """Adaptive policies through the CLI: expressions work anywhere a
+    registry policy name does, `repro tune` dumps controller traces, and
+    malformed knobs exit 2 naming the offending knob."""
+
+    def test_matrix_accepts_adaptive_expression(self, capsys):
+        argv = [
+            "matrix", "--quick", "--no-cache", "--summary-only",
+            "--policy", "mds",
+            "--policy", "adaptive(timeout-repair,slack=0.1:0.2)",
+            "--scenario", "bursty",
+        ]
+        assert main(argv) == 0
+        assert "adaptive(timeout-repair,slack=0.1:0.2)" in capsys.readouterr().out
+
+    def test_matrix_adaptive_rows_render_the_adaptive_grid(self, capsys):
+        argv = [
+            "matrix", "--quick", "--no-cache", "--summary-only",
+            "--policy", "mds", "--policy", "adaptive-timeout",
+            "--scenario", "bursty",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "matrix-adaptive" in out
+        assert "best fixed per scenario" in out
+
+    def test_tune_dumps_controller_trace_json(self, capsys):
+        import json
+
+        argv = [
+            "tune", "--quick", "--policy", "adaptive-timeout",
+            "--scenario", "bursty", "--trials", "2", "--seed", "0",
+        ]
+        assert main(argv) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["policy"] == "adaptive-timeout"
+        assert [t["segment"] for t in report["trace"]] == [0, 1, 2, 3]
+        assert report["trace"][-1]["bands"]
+
+    def test_tune_policy_auto_reports_probe_and_commitment(self, capsys):
+        import json
+
+        argv = [
+            "tune", "--quick", "--policy", "policy-auto",
+            "--scenario", "spot", "--trials", "2",
+        ]
+        assert main(argv) == 0
+        report = json.loads(capsys.readouterr().out)
+        (entry,) = report["trace"]
+        assert entry["committed"] in entry["probe"]["scores"]
+
+    def test_tune_rejects_non_adaptive_policy(self, capsys):
+        assert main(["tune", "--quick", "--policy", "mds"]) == 2
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "not adaptive" in captured.err
+        assert "adaptive-timeout" in captured.err
+
+    def test_tune_unknown_scenario_exits_2(self, capsys):
+        argv = ["tune", "--quick", "--scenario", "nope"]
+        assert main(argv) == 2
+        err = capsys.readouterr().err
+        assert "error" in err and "available" in err
+
+    @pytest.mark.parametrize("surface", ["matrix", "tune"])
+    def test_unknown_knob_exits_2_naming_the_knob(self, capsys, surface):
+        expr = "adaptive(timeout-repair,slak=0.1)"
+        if surface == "matrix":
+            argv = ["matrix", "--quick", "--no-cache", "--policy", expr]
+        else:
+            argv = ["tune", "--quick", "--policy", expr]
+        assert main(argv) == 2
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "slak" in captured.err  # the offending knob, verbatim
+        assert "slack" in captured.err  # ...and the valid ones
+        assert "cadence" in captured.err
+
+    @pytest.mark.parametrize(
+        "expression, offence",
+        [
+            ("adaptive(timeout-repair,slack=0.1:oops)", "oops"),
+            ("adaptive(timeout-repair,slack=-1.0)", "slack"),
+            ("adaptive(timeout-repair,slack=0.1,cadence=0)", "cadence"),
+            ("adaptive(uncoded,slack=0.1)", "uncoded"),
+            ("adaptive(nope,slack=0.1)", "nope"),
+            ("adaptive(timeout-repair", "adaptive"),
+        ],
+    )
+    def test_malformed_adaptive_expressions_exit_2(
+        self, capsys, expression, offence
+    ):
+        assert main(["matrix", "--quick", "--policy", expression]) == 2
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "error:" in captured.err
+        assert offence in captured.err
