@@ -14,7 +14,11 @@ recording a slowdown.
 
 Normalisation: rows record the ``cpus`` the run had (``os.cpu_count()``),
 and the pooled benches scale with it, so times are compared in
-core-seconds (``seconds × cpus``).  Early trajectory rows predate the
+core-seconds (``seconds × cpus``).  A section that records an integer
+``cells`` workload count (the ``matrix`` bench sweeps the whole policy ×
+scenario registry, which grows as PRs register new entries) is further
+normalised **per cell**, so a structurally larger registry is not
+mistaken for a slowdown.  Early trajectory rows predate the
 ``cpus`` / ``executor`` fields — they count as ``cpus = 1`` — and rows
 may lack whole sections (the ``--matrix`` / ``--engine`` / ``--events``
 benches were added over time); a metric is gated only against the rows
@@ -70,18 +74,25 @@ def timing_metrics(row: dict) -> dict[tuple[str, str], float]:
 
     Sections are the dict-valued top-level entries; within one, every
     float (but not bool/int — those are counts, and not
-    :data:`NOT_SECONDS`) is a wall-clock timing.
+    :data:`NOT_SECONDS`) is a wall-clock timing.  A section recording an
+    integer ``cells`` workload count has its timings divided by it, so
+    the metric tracks per-cell cost rather than registry size.
     """
     cpus = row_cpus(row)
     metrics = {}
     for section, body in row.items():
         if not isinstance(body, dict):
             continue
+        cells = body.get("cells")
+        per_cell = (
+            isinstance(cells, int) and not isinstance(cells, bool) and cells > 0
+        )
+        scale = cpus / cells if per_cell else cpus
         for name, value in body.items():
             if name in NOT_SECONDS:
                 continue
             if isinstance(value, float) and not isinstance(value, bool):
-                metrics[(section, name)] = value * cpus
+                metrics[(section, name)] = value * scale
     return metrics
 
 
@@ -160,7 +171,8 @@ def main(argv: list[str] | None = None) -> int:
     report, regressions = gate(rows, args.threshold)
     print(
         f"bench gate: newest of {len(rows)} rows vs trajectory median "
-        f"(threshold {args.threshold:.0%}, times in core-seconds)"
+        f"(threshold {args.threshold:.0%}, times in core-seconds, "
+        "per cell where the section records a cell count)"
     )
     for line in report:
         print(line)

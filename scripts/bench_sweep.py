@@ -3,7 +3,8 @@
 Usage:  python scripts/bench_sweep.py [--trials N] [--jobs N] [--executor NAME]
             [--quick/--full] [--scenario NAME] [--predictor-trials N]
             [--matrix] [--engine] [--engine-trials N] [--engine-jobs N]
-            [--events] [--tag KEY=VALUE] [--append-json PATH]
+            [--events] [--event-trials N] [--profile]
+            [--tag KEY=VALUE] [--append-json PATH]
 
 Measures one representative controlled-cluster figure (Fig 6: 5 strategies
 × 4 straggler counts), one large-cluster figure (Fig 13: 50 workers), and
@@ -39,12 +40,16 @@ spread over the pool).  Shard merges are asserted equal to the monolithic
 value; the speedup is pure scheduling-granularity win and scales with
 physical cores (on a single-core machine the two are expected to tie).
 
-The event-backend micro-bench (``--events``) times the same policy ×
-scenario cells on the closed-form core and on the discrete-event engine
-(``--backend event`` — explicit links, per-trial event loops), including a
-network-degraded scenario only the event backend can express.  The ratio
-is the price of event-level fidelity; the closed form stays the default
-everywhere for exactly this reason.
+The event-backend micro-bench (``--events``) times one network-degraded
+iteration batch of ``--event-trials`` trials three ways — the closed-form
+``run_batch``, the per-trial discrete-event loop, and the batched event
+kernel (precomputed schedules, scalar replay only for diverging trials) —
+asserting the batched kernel bitwise-equal to the loop; the end-to-end
+policy × scenario cells on both backends ride along under the
+``matrix_*`` keys.  ``--profile`` additionally reruns the batched kernel
+with the phase profiler installed (:mod:`repro.profiling`), prints the
+per-phase hot-spot table, and attaches the phase totals to the
+``--append-json`` record, so the next optimisation round is data-driven.
 
 The prediction-path micro-bench (``--predictor-trials``) drives the §6.2
 online LSTM forecasting loop — the prediction-in-the-loop side of every
@@ -345,6 +350,71 @@ def bench_event_backend(
     return timings["closed"], timings["event"], len(policies) * len(scenarios)
 
 
+def bench_event_kernel(
+    quick: bool, trials: int, profiler=None
+) -> tuple[float, float, float]:
+    """Event backend at scale: closed form vs per-trial loop vs batched kernel.
+
+    Returns ``(closed_seconds, loop_seconds, batch_seconds)`` for one
+    network-degraded iteration batch of ``trials`` trials (the ``netslow``
+    scenario's link factors, which only the event backend honours).  The
+    batched kernel is asserted bitwise-equal to the per-trial loop — the
+    contract ``tests/cluster/test_events_batch.py`` pins.  When
+    ``profiler`` is given the batched kernel runs once more with it
+    installed, so the record carries per-phase hot-spot totals.
+    """
+    from repro.cluster.events.factors import link_factors_batch
+    from repro.cluster.events.sim import EventDrivenIterationSim
+    from repro.cluster.network import CostModel, NetworkModel
+    from repro.cluster.scenarios import scenario_batch
+    from repro.cluster.simulator import CodedIterationSim
+    from repro.coding.partition import ChunkGrid
+    from repro.experiments.sweep import SEED_STRIDE
+    from repro.profiling import profiled
+    from repro.scheduling.s2c2 import GeneralS2C2Scheduler
+
+    n, coverage = 10, 7
+    rows, chunks = (2000, 200) if quick else (10_000, 2000)
+    kwargs = dict(
+        grid=ChunkGrid(rows, chunks),
+        width=64,
+        network=NetworkModel(latency=5e-6, bandwidth=2.5e8),
+        cost=CostModel(worker_flops=5e7),
+    )
+    closed_sim = CodedIterationSim(**kwargs)
+    event_sim = EventDrivenIterationSim(**kwargs)
+    plan = GeneralS2C2Scheduler(coverage=coverage, num_chunks=chunks).plan(
+        np.ones(n)
+    )
+    seeds = [SEED_STRIDE * t for t in range(trials)]
+    model = scenario_batch("netslow", n, seeds)
+    speeds = model.speeds_batch(3)
+    factors = link_factors_batch(model, 3)
+
+    start = time.perf_counter()
+    closed_sim.run_batch(plan, speeds)
+    closed_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    loop = [
+        event_sim.run(plan, speeds[t], link_factors=factors[t])
+        for t in range(trials)
+    ]
+    loop_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    batch = event_sim.run_batch(plan, speeds, link_factors=factors)
+    batch_s = time.perf_counter() - start
+
+    for t, outcome in enumerate(loop):  # bitwise contract, cheap to hold
+        assert batch.completion_time[t] == outcome.completion_time, t
+
+    if profiler is not None:
+        with profiled(profiler):
+            event_sim.run_batch(plan, speeds, link_factors=factors)
+    return closed_s, loop_s, batch_s
+
+
 def bench_predictor_path(quick: bool, trials: int) -> tuple[float, float, int]:
     """Online-forecasting bench: per-trial predictor loop vs batched stack.
 
@@ -470,8 +540,23 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--events",
         action="store_true",
-        help="also time the policy × scenario cells on the discrete-event "
-        "backend against the closed-form core",
+        help="also time the event-backend kernels (closed form vs per-trial "
+        "event loop vs batched event kernel) plus the policy × scenario "
+        "cells on both backends",
+    )
+    parser.add_argument(
+        "--event-trials",
+        type=positive_int,
+        default=64,
+        metavar="N",
+        help="trial count of the event-kernel micro-bench (default: 64)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="rerun the batched event kernel with the phase profiler "
+        "installed and print/record the per-phase hot-spot table "
+        "(implies nothing without --events)",
     )
     parser.add_argument(
         "--tag",
@@ -603,22 +688,49 @@ def main() -> None:
         }
 
     if args.events:
-        closed_s, event_s, cells = bench_event_backend(
+        profiler = None
+        if args.profile:
+            from repro.profiling import PhaseProfiler
+
+            profiler = PhaseProfiler()
+        kc_s, kl_s, kb_s = bench_event_kernel(
+            quick, args.event_trials, profiler
+        )
+        print(
+            f"events closed batch  ({args.event_trials} trials, netslow): "
+            f"{kc_s:7.2f}s"
+        )
+        print(f"events per-trial loop:                    {kl_s:7.2f}s")
+        print(
+            f"events batched kernel:                    {kb_s:7.2f}s   "
+            f"({kl_s / kb_s:.1f}x over the loop)"
+        )
+        mclosed_s, mevent_s, cells = bench_event_backend(
             quick, args.trials, args.jobs
         )
         print(
-            f"events closed core   ({cells} policy×scenario cells, "
-            f"{args.trials} trials): {closed_s:7.2f}s"
+            f"events closed cells  ({cells} policy×scenario cells, "
+            f"{args.trials} trials): {mclosed_s:7.2f}s"
         )
         print(
-            f"events event engine:                      {event_s:7.2f}s   "
-            f"({event_s / closed_s:.1f}x slower)"
+            f"events event cells:                       {mevent_s:7.2f}s   "
+            f"({mevent_s / mclosed_s:.1f}x slower)"
         )
         record["events"] = {
-            "closed": closed_s,
-            "event": event_s,
+            "closed": kc_s,
+            "event": kl_s,
+            "batch": kb_s,
+            "trials": args.event_trials,
+            "matrix_closed": mclosed_s,
+            "matrix_event": mevent_s,
             "cells": cells,
         }
+        if profiler is not None:
+            print(profiler.format_table())
+            record["profile"] = {
+                "phases": profiler.as_dict(),
+                "trials": args.event_trials,
+            }
 
     if args.append_json:
         with open(args.append_json, "a") as handle:

@@ -12,7 +12,8 @@ Scans README.md and docs/*.md (by default) for
 * experiment names in ``python -m repro experiments <name>`` examples —
   each must be registered in ``repro.experiments.ALL_EXPERIMENTS``;
 * policy / scenario names passed via ``--policy`` / ``--scenario`` on
-  ``python -m repro matrix`` / ``fuzz`` / ``tune`` example lines — each
+  ``python -m repro matrix`` / ``fuzz`` / ``tune`` / ``profile`` example
+  lines — each
   must be registered, where scenarios may be composition expressions and
   policies adaptive expressions (quoted, e.g. ``--scenario
   'overlay(rack,bursty)'`` / ``--policy 'adaptive(overdecomp,factor=4:5)'``)
@@ -58,7 +59,7 @@ PATHLIKE = re.compile(
 )
 EXPERIMENT_CMD = re.compile(r"python -m repro experiments ((?:[a-z0-9]+ )*[a-z0-9]+)")
 SWEEP_CMD_LINE = re.compile(
-    r"python -m repro (?:matrix|fuzz|stream|tune)(?:[^\n]*\\\n)*[^\n]*"
+    r"python -m repro (?:matrix|fuzz|stream|tune|profile)(?:[^\n]*\\\n)*[^\n]*"
 )
 REPRO_CMD_LINE = re.compile(
     r"python -m repro ([a-z]+)((?:[^\n]*\\\n)*[^\n]*)"

@@ -65,18 +65,23 @@ echo "== fixed-seed fuzz tournament (generated scenarios, composed names) =="
 python -m repro fuzz --quick --scenarios 8 --trials 2 --jobs 2 --seed 7 \
     --summary-only --cache-dir "$CACHE"
 
+echo "== phase profile (batched kernels, quick) =="
+python -m repro profile --quick --trials 2 --backend event
+
 if [ "$1" = "bench" ]; then
     echo "== bench (appending to BENCH_SWEEP.json) =="
     # --predictor-trials drives the prediction-path micro-bench (per-trial
     # forecasting loop vs the batched predictor stack), --matrix the
     # policy x scenario grid, --engine the fat-cell scheduling bench
     # (cell-granular vs trial-sharded at --engine-jobs width), and
-    # --events the event-backend overhead bench (closed form vs the
-    # discrete-event core on identical cells), so BENCH_SWEEP.json tracks
-    # the prediction, matrix, engine, and event series alongside the
-    # simulation ones.
+    # --events the event-backend benches (closed form vs per-trial event
+    # loop vs the batched event kernel at --event-trials, plus both
+    # backends on identical cells; --profile attaches the per-phase
+    # hot-spot totals), so BENCH_SWEEP.json tracks the prediction,
+    # matrix, engine, and event series alongside the simulation ones.
     python scripts/bench_sweep.py --trials 4 --jobs 2 --predictor-trials 64 \
-        --matrix --engine --events --append-json BENCH_SWEEP.json
+        --matrix --engine --events --event-trials 64 --profile \
+        --append-json BENCH_SWEEP.json
 
     echo "== bench regression gate =="
     # Compares the row just appended against the trajectory median per

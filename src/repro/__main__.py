@@ -71,6 +71,18 @@ Commands
     ``--reducer quantile`` hold a bounded state per cell however large
     ``--trials`` grows, and ``--resume`` folds completed cells from their
     persisted reducer checkpoints.
+``profile [--policy P ...] [--scenario S ...] [--backend NAME]
+[--quick] [--trials N] [--seed S] [--json]``
+    Run a small policy × scenario grid at the matrix geometry with the
+    phase profiler installed (:mod:`repro.profiling`) and print the
+    per-phase hot-spot table — wall-clock seconds spent in the batched
+    kernels' plan/broadcast/compute/reply/repair/decode/replay spans —
+    so optimisation targets are measured, not guessed.  ``--policy`` /
+    ``--scenario`` repeat to select cells (defaults: mds +
+    timeout-repair over bursty + netslow); ``--backend`` picks the
+    simulator core whose kernel is being profiled; ``--json`` emits the
+    phase totals as sorted JSON instead of the table.  An unknown name
+    exits 2 listing the registry.
 ``version``
     Print the package version.
 
@@ -268,6 +280,69 @@ def _cmd_tune(args: argparse.Namespace) -> int:
             indent=2,
         )
     )
+    print(f"   [{elapsed:.1f}s]", file=sys.stderr)
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.cluster.scenarios import get_scenario
+    from repro.engine.plan import SEED_STRIDE, SweepContext
+    from repro.experiments.matrix import COVERAGE, N_WORKERS
+    from repro.profiling import PhaseProfiler, profiled
+    from repro.scheduling.policies import build_policy, get_policy
+
+    policies = tuple(args.policy or ("mds", "timeout-repair"))
+    scenarios = tuple(args.scenario or ("bursty", "netslow"))
+    try:
+        specs = [get_policy(name) for name in policies]
+        for name in scenarios:
+            get_scenario(name)
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+    ctx = SweepContext(
+        quick=args.quick,
+        base_seed=args.seed,
+        seeds=tuple(args.seed + SEED_STRIDE * t for t in range(args.trials)),
+    )
+    # The matrix cell geometry, run in-process (executors would hide the
+    # spans in worker processes) with the profiler installed.
+    rows, cols = (480, 120) if args.quick else (2400, 600)
+    iterations = 4 if args.quick else 15
+    profiler = PhaseProfiler()
+    start = time.perf_counter()
+    with profiled(profiler):
+        for spec in specs:
+            runner = build_policy(
+                spec.name, N_WORKERS, COVERAGE, backend=args.backend
+            )
+            for scenario in scenarios:
+                runner.run_scenario(
+                    scenario, ctx, rows=rows, cols=cols, iterations=iterations
+                )
+    elapsed = time.perf_counter() - start
+    if args.json:
+        # Sorted JSON keeps stdout byte-deterministic modulo the timings
+        # themselves (which are wall-clock by nature).
+        print(
+            json.dumps(
+                {
+                    "backend": args.backend,
+                    "iterations": iterations,
+                    "phases": profiler.as_dict(),
+                    "policies": list(policies),
+                    "scenarios": list(scenarios),
+                    "seed": args.seed,
+                    "trials": args.trials,
+                },
+                sort_keys=True,
+                indent=2,
+            )
+        )
+    else:
+        print(profiler.format_table())
     print(f"   [{elapsed:.1f}s]", file=sys.stderr)
     return 0
 
@@ -533,6 +608,52 @@ def build_parser() -> argparse.ArgumentParser:
     tune_p.add_argument(
         "--seed", type=int, default=0, help="base seed of trial 0 (default: 0)"
     )
+    prof_p = sub.add_parser(
+        "profile",
+        help="per-phase hot-spot profile of the batched simulator kernels",
+    )
+    prof_p.add_argument(
+        "--policy",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="profile this policy (repeatable; default: mds and "
+        "timeout-repair)",
+    )
+    prof_p.add_argument(
+        "--scenario",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="profile this scenario (repeatable; default: bursty and "
+        "netslow)",
+    )
+    prof_p.add_argument(
+        "--backend",
+        type=backend_name,
+        default="closed",
+        metavar="NAME",
+        help="simulator core: closed (analytic, default) or event "
+        "(discrete-event engine with explicit network links)",
+    )
+    prof_p.add_argument(
+        "--quick", action="store_true", help="reduced CI-scale configuration"
+    )
+    prof_p.add_argument(
+        "--trials",
+        type=positive_int,
+        default=4,
+        metavar="N",
+        help="seeded Monte-Carlo trials (default: 4)",
+    )
+    prof_p.add_argument(
+        "--seed", type=int, default=0, help="base seed of trial 0 (default: 0)"
+    )
+    prof_p.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the phase totals as sorted JSON instead of the table",
+    )
     fuzz_p = sub.add_parser(
         "fuzz",
         help="policy tournament over fuzzer-generated scenarios",
@@ -639,6 +760,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_matrix(args)
     if args.command == "tune":
         return _cmd_tune(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
     if args.command == "fuzz":
         return _cmd_fuzz(args)
     if args.command == "stream":

@@ -34,6 +34,24 @@ encode cost before the broadcast, per-worker link degradation
 (``link_factors`` from the network scenarios), shared top-of-rack links
 where repair traffic queues behind result traffic, and result-shuffle
 transfers after decode.
+
+**Batched kernel.**  :meth:`EventDrivenIterationSim.run_batch` does not
+loop the event loop per trial.  On dedicated duplex links every link
+carries at most one transmission per direction per phase, so the
+timeline is queue-free and the pop order is fully determined by the
+analytic schedule: ``recv = encode_end + (latency + bytes/(bw*factor))``
+per worker, ``arrival = ((recv + fixed) + compute) + reply``, k-of-n
+completion by a sorted-arrival reduction, and §4.3 arming by comparing
+the natural completion against the vectorized deadline.  Those
+``(trials, workers)`` arrays reproduce the event loop's floats bitwise
+(same association order, term by term).  A conservative divergence
+detector routes the rest to the scalar loop: topologies where events can
+queue (``rack_size``, ``shuffle_output``) replay every trial, and armed
+trials replay unless the repair round is provably queue-free too (unit
+link factors, zero encode cost, zero-byte repair requests) — in which
+case the closed form's native repair resolution applies unchanged.  The
+pinned batch suites fuzz this contract: batched output bitwise-equal to
+the per-trial loop for every route.
 """
 
 from __future__ import annotations
@@ -51,6 +69,7 @@ from repro.cluster.simulator import (
 )
 from repro.cluster.events.loop import Event, EventLoop
 from repro.cluster.events.topology import Topology
+from repro.profiling import span
 from repro.scheduling.base import CodedWorkPlan
 from repro.scheduling.timeout import repair_assignments
 
@@ -197,7 +216,7 @@ class EventDrivenIterationSim(CodedIterationSim):
         bw_bytes = (
             self.broadcast_width if self.broadcast_width is not None else self.width
         ) * self.cost.bytes_per_element
-        broadcast = self.network.transfer_time(bw_bytes)  # nominal (reported)
+        broadcast = self._broadcast_cost  # nominal (reported)
         encode_end = self.config.encode_flops / self.cost.master_flops
         for w in range(n):
             recv = topology.send_down(w, encode_end, bw_bytes, factors[w])
@@ -490,9 +509,9 @@ class EventDrivenIterationSim(CodedIterationSim):
         return None
 
     @staticmethod
-    def _check_factors(link_factors, n: int) -> np.ndarray | list[float]:
+    def _check_factors(link_factors, n: int) -> np.ndarray:
         if link_factors is None:
-            return [1.0] * n
+            return np.ones(n)
         factors = np.asarray(link_factors, dtype=np.float64)
         if factors.shape != (n,):
             raise ValueError(
@@ -500,7 +519,21 @@ class EventDrivenIterationSim(CodedIterationSim):
             )
         if not np.all(np.isfinite(factors)) or np.any(factors <= 0):
             raise ValueError("link factors must be positive and finite")
-        return [float(f) for f in factors]
+        return factors
+
+    @staticmethod
+    def _check_factors_batch(link_factors, trials: int, n: int) -> np.ndarray:
+        if link_factors is None:
+            return np.ones((trials, n))
+        factors = np.asarray(link_factors, dtype=np.float64)
+        if factors.shape != (trials, n):
+            raise ValueError(
+                f"link_factors must have shape ({trials}, {n}), "
+                f"got {factors.shape}"
+            )
+        if not np.all(np.isfinite(factors)) or np.any(factors <= 0):
+            raise ValueError("link factors must be positive and finite")
+        return factors
 
     # ------------------------------------------------------------------
     # Batched path
@@ -513,12 +546,18 @@ class EventDrivenIterationSim(CodedIterationSim):
         failed_workers: frozenset[int] | list[frozenset[int]] = frozenset(),
         link_factors: np.ndarray | None = None,
     ) -> BatchCodedOutcome:
-        """Per-trial event simulation assembled into the batch outcome.
+        """Batched event simulation, bitwise-equal to looping :meth:`run`.
 
-        The event loop is inherently sequential per trial, so this runs
-        :meth:`run` trial by trial; the assembled arrays satisfy the same
-        per-trial-equals-scalar contract as the closed-form batch path.
-        ``link_factors`` is a ``(trials, workers)`` matrix (or ``None``).
+        On dedicated duplex links the event timeline is queue-free, so
+        the per-trial schedules are precomputed as ``(trials, workers)``
+        arrays mirroring the event loop's float-operation order term by
+        term (see the module docstring).  Trials whose event ordering can
+        actually diverge from that schedule — shared-rack or shuffle
+        topologies, and repair-armed trials whose repair round is not
+        provably queue-free — are replayed through the scalar event loop,
+        so the fast path never has to be trusted beyond what the schedule
+        proves.  ``link_factors`` is a ``(trials, workers)`` matrix (or
+        ``None``).
         """
         speeds, trials, failed_list = _normalise_batch(speeds, failed_workers)
         n = speeds.shape[1]
@@ -529,15 +568,14 @@ class EventDrivenIterationSim(CodedIterationSim):
         )
         if len(plan_list) != trials:
             raise ValueError(f"got {len(plan_list)} plans for {trials} trials")
-        factor_rows: list[np.ndarray | None] = [None] * trials
-        if link_factors is not None:
-            factors = np.asarray(link_factors, dtype=np.float64)
-            if factors.shape != (trials, n):
-                raise ValueError(
-                    f"link_factors must have shape ({trials}, {n}), "
-                    f"got {factors.shape}"
-                )
-            factor_rows = [factors[t] for t in range(trials)]
+        if any(p.n_workers != n for p in plan_list):
+            raise ValueError("every plan must span the batch's worker count")
+        factors = self._check_factors_batch(link_factors, trials, n)
+        factor_rows: list[np.ndarray | None] = (
+            [None] * trials
+            if link_factors is None
+            else [factors[t] for t in range(trials)]
+        )
 
         completion = np.zeros(trials)
         decode = np.zeros(trials)
@@ -546,27 +584,204 @@ class EventDrivenIterationSim(CodedIterationSim):
         used = np.zeros((trials, n), dtype=np.int64)
         responded = np.zeros((trials, n), dtype=bool)
         repaired = np.zeros(trials, dtype=bool)
-        broadcast = self.network.transfer_time(
-            (self.broadcast_width if self.broadcast_width is not None else self.width)
-            * self.cost.bytes_per_element
-        )
-        for t in range(trials):
-            outcome = self.run(
-                plan_list[t], speeds[t], failed_list[t], factor_rows[t]
-            )
-            completion[t] = outcome.completion_time
-            decode[t] = outcome.decode_time
-            repaired[t] = outcome.repaired
-            for w, stat in enumerate(outcome.workers):
-                assigned[t, w] = stat.assigned_rows
-                computed[t, w] = stat.computed_rows
-                used[t, w] = stat.used_rows
+        broadcast = self._broadcast_cost
+
+        def replay(indices) -> None:
+            """Scalar event loop as the semantics of record for ``indices``."""
+            for t in indices:
+                outcome = self.run(
+                    plan_list[t], speeds[t], failed_list[t], factor_rows[t]
+                )
+                completion[t] = outcome.completion_time
+                decode[t] = outcome.decode_time
+                repaired[t] = outcome.repaired
+                stats = outcome.workers
+                assigned[t] = [s.assigned_rows for s in stats]
+                computed[t] = [s.computed_rows for s in stats]
+                used[t] = [s.used_rows for s in stats]
                 # The batch contract counts a response only when it was
                 # accepted (a late response recorded during a rejected
                 # repair probe stays a cancellation).
-                responded[t, w] = (
-                    stat.response_time is not None and not stat.cancelled
+                responded[t] = [
+                    s.response_time is not None and not s.cancelled
+                    for s in stats
+                ]
+
+        if self.config.rack_size is not None or self.config.shuffle_output:
+            # Shared ToR links queue repair behind result traffic, and the
+            # shuffle reuses down-links: event ordering genuinely matters.
+            with span("replay"):
+                replay(range(trials))
+            return BatchCodedOutcome(
+                completion_time=completion,
+                broadcast_time=broadcast,
+                decode_time=decode,
+                assigned_rows=assigned,
+                computed_rows=computed,
+                used_rows=used,
+                responded=responded,
+                repaired=repaired,
+            )
+
+        with span("plan"):
+            failed_mask = np.zeros((trials, n), dtype=bool)
+            for t, failed in enumerate(failed_list):
+                if failed:
+                    failed_mask[t, list(failed)] = True
+            profiles = {}
+            for p in plan_list:
+                if id(p) not in profiles:
+                    profiles[id(p)] = self._profile(p)
+            rows_mat = np.stack([profiles[id(p)].rows for p in plan_list])
+            active = rows_mat > 0
+            kinds = np.array([profiles[id(p)].kind for p in plan_list])
+            coverages = np.array([p.coverage for p in plan_list], dtype=np.int64)
+            assigned[:] = rows_mat
+
+        # The analytic schedule, mirroring the scalar event handlers'
+        # float-op order term by term (queue-free on dedicated links).
+        with span("broadcast"):
+            bw_bytes = (
+                self.broadcast_width
+                if self.broadcast_width is not None
+                else self.width
+            ) * self.cost.bytes_per_element
+            encode_end = self.config.encode_flops / self.cost.master_flops
+            recv = encode_end + (
+                self.network.latency
+                + bw_bytes / (self.network.bandwidth * factors)
+            )
+        with span("compute"):
+            denom = self.cost.worker_flops * speeds
+            fixed = self.fixed_task_flops / denom
+            compute = (rows_mat * self.width * self.cost.flops_per_element) / denom
+            compute_end = (recv + fixed) + compute
+        with span("reply"):
+            reply_bytes = float(self.cost.row_bytes(self.width_out))
+            arrivals = compute_end + (
+                self.network.latency
+                + (rows_mat * reply_bytes) / (self.network.bandwidth * factors)
+            )
+            arrivals[failed_mask | ~active] = np.inf
+
+            # Natural completion: k-th response for full plans, last active
+            # response for exact-coverage plans (an inf from a failed
+            # active worker propagates as "never completes naturally").
+            done = np.full(trials, np.inf)
+            full_rows = kinds == "full"
+            exact_rows = kinds == "exact"
+            sorted_arr = np.sort(arrivals, axis=1)
+            if np.any(full_rows):
+                done[full_rows] = sorted_arr[full_rows, coverages[full_rows] - 1]
+            if np.any(exact_rows):
+                masked = np.where(
+                    active[exact_rows], arrivals[exact_rows], -np.inf
                 )
+                done[exact_rows] = masked.max(axis=1)
+
+        # §4.3 arming and the divergence detector.  The vectorized arming
+        # test uses analytic event times, which the loop's causality clamp
+        # never alters, so it is exact on dedicated links for any factors;
+        # the *resolution* is only native when the repair round itself is
+        # queue-free and mirrors the closed form bitwise (unit factors,
+        # zero encode cost, zero-byte repair requests).
+        with span("repair"):
+            deadlines = self._batch_deadlines(sorted_arr, coverages)
+            general = kinds == "general"
+            armed = ~general & ~np.isnan(deadlines) & (done > deadlines)
+            native_ok = (
+                self.config.encode_flops == 0.0
+                and self.config.repair_request_bytes == 0.0
+            )
+            unit_links = np.all(factors == 1.0, axis=1)
+            fallback = general | (armed & ~(native_ok & unit_links))
+            armed_native = armed & ~fallback
+            if np.any(armed_native):
+                chunk_sizes = np.diff(self.grid.chunk_offsets())
+                for t in np.flatnonzero(armed_native):
+                    result = self._repair_batch_trial(
+                        plan_list[t],
+                        profiles[id(plan_list[t])],
+                        speeds[t],
+                        arrivals[t],
+                        float(deadlines[t]),
+                        float(done[t]),
+                        failed_list[t],
+                        broadcast,
+                        chunk_sizes,
+                    )
+                    if result is None:
+                        continue  # rejected: the trial completes naturally
+                    finish, decode_t, computed_t, used_t, responded_t = result
+                    repaired[t] = True
+                    completion[t] = finish + decode_t
+                    decode[t] = decode_t
+                    computed[t] = computed_t
+                    used[t] = used_t
+                    responded[t] = responded_t
+
+        fast = ~fallback & ~repaired
+        if np.any(np.isinf(done) & fast):
+            raise RuntimeError(
+                "iteration cannot complete: coverage unsatisfiable with "
+                "the surviving workers and no repair possible"
+            )
+        if np.any(fast):
+            with span("decode"):
+                resp = active & (arrivals <= done[:, None]) & fast[:, None]
+                # Partial progress of cancelled stragglers: the event
+                # accounting starts the clock at the worker's recv time
+                # (mirrors _progress_rows term by term).
+                per_row = (self.width * self.cost.flops_per_element) / denom
+                elapsed = (done[:, None] - recv) - fixed
+                progress = np.where(elapsed <= 0, 0.0, elapsed / per_row)
+                progress = np.minimum(rows_mat, np.maximum(0.0, progress))
+                computed_fast = np.where(
+                    resp,
+                    rows_mat.astype(np.float64),
+                    np.where(failed_mask, 0.0, progress),
+                )
+                computed_fast[~active] = 0.0
+                computed[fast] = computed_fast[fast]
+                responded[fast] = resp[fast]
+                # Used rows: every active worker on exact plans; the first
+                # ``coverage`` responses (pop order == stable arrival
+                # order) on full plans.
+                exact_fast = exact_rows & fast
+                if np.any(exact_fast):
+                    used[exact_fast] = np.where(
+                        active[exact_fast], rows_mat[exact_fast], 0
+                    )
+                full_fast = full_rows & fast
+                if np.any(full_fast):
+                    order = np.argsort(
+                        arrivals[full_fast], axis=1, kind="stable"
+                    )
+                    sub = np.zeros((int(full_fast.sum()), n), dtype=np.int64)
+                    take = coverages[full_fast]
+                    for i in range(sub.shape[0]):
+                        contributors = order[i, : take[i]]
+                        sub[i, contributors] = rows_mat[full_fast][
+                            i, contributors
+                        ]
+                    used[full_fast] = sub
+                groups = np.array(
+                    [profiles[id(p)].decode_groups for p in plan_list],
+                    dtype=np.int64,
+                )
+                for t in np.flatnonzero(fast):
+                    decode[t] = self.cost.decode_time(
+                        rows=self.grid.rows,
+                        coverage=int(coverages[t]),
+                        width_out=self.width_out,
+                        groups=max(1, int(groups[t])),
+                    )
+                completion[fast] = done[fast] + decode[fast]
+
+        if np.any(fallback):
+            with span("replay"):
+                replay(np.flatnonzero(fallback))
+
         return BatchCodedOutcome(
             completion_time=completion,
             broadcast_time=broadcast,

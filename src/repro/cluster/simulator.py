@@ -48,12 +48,14 @@ all trials at once, with the same bitwise-equality contract.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
 from typing import Sequence
 
 import numpy as np
 
 from repro.cluster.network import CostModel, NetworkModel
+from repro.profiling import span
 from repro.coding.partition import ChunkGrid
 from repro.scheduling.base import CodedWorkPlan
 from repro.scheduling.overdecomposition import OverDecompositionPlan
@@ -243,6 +245,21 @@ class CodedIterationSim:
     cost: CostModel = field(default_factory=CostModel)
     timeout: TimeoutPolicy | None = None
 
+    @functools.cached_property
+    def _broadcast_cost(self) -> float:
+        """Broadcast transfer time, computed once per simulator instance.
+
+        Every path (scalar and batched, closed and event backend) reports
+        the same nominal broadcast cost, and it only depends on frozen
+        fields — so it is cached on the instance instead of being
+        recomputed per trial.  (``functools.cached_property`` writes the
+        instance ``__dict__`` directly, which frozen dataclasses permit.)
+        """
+        return self.network.transfer_time(
+            (self.broadcast_width if self.broadcast_width is not None else self.width)
+            * self.cost.bytes_per_element
+        )
+
     def _arrival(self, rows: int, speed: float, start: float) -> float:
         """Absolute arrival time at the master of a ``rows``-row task."""
         compute = self.cost.compute_time(rows, self.width, speed)
@@ -280,10 +297,7 @@ class CodedIterationSim:
         if np.any(speeds <= 0):
             raise ValueError("actual speeds must be positive (model failures "
                              "via failed_workers)")
-        broadcast = self.network.transfer_time(
-            (self.broadcast_width if self.broadcast_width is not None else self.width)
-            * self.cost.bytes_per_element
-        )
+        broadcast = self._broadcast_cost
         stats = [WorkerIterationStats(worker=w) for w in range(n)]
         chunk_rows = {
             w: self.grid.rows_of_chunks(plan.assignments[w].chunk_indices())
@@ -691,54 +705,58 @@ class CodedIterationSim:
                 )
         if any(p.n_workers != n for p in plan_list):
             raise ValueError("every plan must span the batch's worker count")
-        failed_mask = np.zeros((trials, n), dtype=bool)
-        for t, failed in enumerate(failed_list):
-            if failed:
-                failed_mask[t, list(failed)] = True
+        with span("plan"):
+            failed_mask = np.zeros((trials, n), dtype=bool)
+            for t, failed in enumerate(failed_list):
+                if failed:
+                    failed_mask[t, list(failed)] = True
 
-        profiles: dict[int, _PlanProfile] = {}
-        for p in plan_list:
-            if id(p) not in profiles:
-                profiles[id(p)] = self._profile(p)
-        rows_mat = np.stack([profiles[id(p)].rows for p in plan_list])
-        active = rows_mat > 0
-        kinds = np.array([profiles[id(p)].kind for p in plan_list])
-        coverages = np.array([p.coverage for p in plan_list], dtype=np.int64)
+            profiles: dict[int, _PlanProfile] = {}
+            for p in plan_list:
+                if id(p) not in profiles:
+                    profiles[id(p)] = self._profile(p)
+            rows_mat = np.stack([profiles[id(p)].rows for p in plan_list])
+            active = rows_mat > 0
+            kinds = np.array([profiles[id(p)].kind for p in plan_list])
+            coverages = np.array([p.coverage for p in plan_list], dtype=np.int64)
 
         # Arrivals, mirroring _arrival()'s float-op order term by term so
         # batched values are bit-identical to the scalar path.
-        broadcast = self.network.transfer_time(
-            (self.broadcast_width if self.broadcast_width is not None else self.width)
-            * self.cost.bytes_per_element
-        )
-        denom = self.cost.worker_flops * speeds
-        fixed = self.fixed_task_flops / denom
-        compute = (rows_mat * self.width * self.cost.flops_per_element) / denom
-        reply = self.network.latency + (
-            rows_mat * self.cost.row_bytes(self.width_out)
-        ) / self.network.bandwidth
-        arrivals = ((broadcast + fixed) + compute) + reply
-        arrivals[failed_mask | ~active] = np.inf
+        with span("broadcast"):
+            broadcast = self._broadcast_cost
+        with span("compute"):
+            denom = self.cost.worker_flops * speeds
+            fixed = self.fixed_task_flops / denom
+            compute = (rows_mat * self.width * self.cost.flops_per_element) / denom
+        with span("reply"):
+            reply = self.network.latency + (
+                rows_mat * self.cost.row_bytes(self.width_out)
+            ) / self.network.bandwidth
+            arrivals = ((broadcast + fixed) + compute) + reply
+            arrivals[failed_mask | ~active] = np.inf
 
-        # Natural completion: k-th response for full plans, last active
-        # response for exact-coverage plans.
-        done = np.full(trials, np.inf)
-        full_rows = kinds == "full"
-        exact_rows = kinds == "exact"
-        sorted_arr = np.sort(arrivals, axis=1)
-        if np.any(full_rows):
-            kth = sorted_arr[full_rows, coverages[full_rows] - 1]
-            done[full_rows] = kth
-        if np.any(exact_rows):
-            # Exact coverage needs every active worker; a failed active
-            # worker leaves its arrival at inf, which propagates through
-            # the max as "never completes naturally".
-            masked = np.where(active[exact_rows], arrivals[exact_rows], -np.inf)
-            done[exact_rows] = masked.max(axis=1)
+            # Natural completion: k-th response for full plans, last active
+            # response for exact-coverage plans.
+            done = np.full(trials, np.inf)
+            full_rows = kinds == "full"
+            exact_rows = kinds == "exact"
+            sorted_arr = np.sort(arrivals, axis=1)
+            if np.any(full_rows):
+                kth = sorted_arr[full_rows, coverages[full_rows] - 1]
+                done[full_rows] = kth
+            if np.any(exact_rows):
+                # Exact coverage needs every active worker; a failed active
+                # worker leaves its arrival at inf, which propagates through
+                # the max as "never completes naturally".
+                masked = np.where(
+                    active[exact_rows], arrivals[exact_rows], -np.inf
+                )
+                done[exact_rows] = masked.max(axis=1)
 
-        deadlines = self._batch_deadlines(sorted_arr, coverages)
-        fallback = kinds == "general"
-        armed = ~fallback & ~np.isnan(deadlines) & (done > deadlines)
+        with span("repair"):
+            deadlines = self._batch_deadlines(sorted_arr, coverages)
+            fallback = kinds == "general"
+            armed = ~fallback & ~np.isnan(deadlines) & (done > deadlines)
 
         assigned = rows_mat.copy()
         computed = np.zeros((trials, n))
@@ -750,28 +768,29 @@ class CodedIterationSim:
 
         # Native §4.3 repair resolution on the precomputed arrival matrix.
         if np.any(armed):
-            chunk_sizes = np.diff(self.grid.chunk_offsets())
-            for t in np.flatnonzero(armed):
-                result = self._repair_batch_trial(
-                    plan_list[t],
-                    profiles[id(plan_list[t])],
-                    speeds[t],
-                    arrivals[t],
-                    float(deadlines[t]),
-                    float(done[t]),
-                    failed_list[t],
-                    broadcast,
-                    chunk_sizes,
-                )
-                if result is None:
-                    continue  # rejected: the trial completes naturally
-                finish, decode_t, computed_t, used_t, responded_t = result
-                repaired[t] = True
-                completion[t] = finish + decode_t
-                decode[t] = decode_t
-                computed[t] = computed_t
-                used[t] = used_t
-                responded[t] = responded_t
+            with span("repair"):
+                chunk_sizes = np.diff(self.grid.chunk_offsets())
+                for t in np.flatnonzero(armed):
+                    result = self._repair_batch_trial(
+                        plan_list[t],
+                        profiles[id(plan_list[t])],
+                        speeds[t],
+                        arrivals[t],
+                        float(deadlines[t]),
+                        float(done[t]),
+                        failed_list[t],
+                        broadcast,
+                        chunk_sizes,
+                    )
+                    if result is None:
+                        continue  # rejected: the trial completes naturally
+                    finish, decode_t, computed_t, used_t, responded_t = result
+                    repaired[t] = True
+                    completion[t] = finish + decode_t
+                    decode[t] = decode_t
+                    computed[t] = computed_t
+                    used[t] = used_t
+                    responded[t] = responded_t
 
         fast = ~fallback & ~repaired
         if np.any(np.isinf(done) & fast):
@@ -780,61 +799,70 @@ class CodedIterationSim:
                 "the surviving workers and no repair possible"
             )
         if np.any(fast):
-            resp = active & (arrivals <= done[:, None]) & fast[:, None]
-            # Partial progress of cancelled stragglers (mirrors
-            # _progress_rows term by term).
-            per_row = (self.width * self.cost.flops_per_element) / denom
-            elapsed = (done[:, None] - broadcast) - fixed
-            progress = np.where(elapsed <= 0, 0.0, elapsed / per_row)
-            progress = np.minimum(rows_mat, np.maximum(0.0, progress))
-            computed_fast = np.where(
-                resp,
-                rows_mat.astype(np.float64),
-                np.where(failed_mask, 0.0, progress),
-            )
-            computed_fast[~active] = 0.0
-            computed[fast] = computed_fast[fast]
-            responded[fast] = resp[fast]
-            # Used rows: every active worker on exact plans; the first
-            # ``coverage`` responses (stable arrival order) on full plans.
-            exact_fast = exact_rows & fast
-            if np.any(exact_fast):
-                used[exact_fast] = np.where(
-                    active[exact_fast], rows_mat[exact_fast], 0
+            with span("decode"):
+                resp = active & (arrivals <= done[:, None]) & fast[:, None]
+                # Partial progress of cancelled stragglers (mirrors
+                # _progress_rows term by term).
+                per_row = (self.width * self.cost.flops_per_element) / denom
+                elapsed = (done[:, None] - broadcast) - fixed
+                progress = np.where(elapsed <= 0, 0.0, elapsed / per_row)
+                progress = np.minimum(rows_mat, np.maximum(0.0, progress))
+                computed_fast = np.where(
+                    resp,
+                    rows_mat.astype(np.float64),
+                    np.where(failed_mask, 0.0, progress),
                 )
-            full_fast = full_rows & fast
-            if np.any(full_fast):
-                order = np.argsort(arrivals[full_fast], axis=1, kind="stable")
-                sub = np.zeros((int(full_fast.sum()), n), dtype=np.int64)
-                take = coverages[full_fast]
-                for i in range(sub.shape[0]):
-                    contributors = order[i, : take[i]]
-                    sub[i, contributors] = rows_mat[full_fast][i, contributors]
-                used[full_fast] = sub
-            groups = np.array(
-                [profiles[id(p)].decode_groups for p in plan_list], dtype=np.int64
-            )
-            for t in np.flatnonzero(fast):
-                decode[t] = self.cost.decode_time(
-                    rows=self.grid.rows,
-                    coverage=int(coverages[t]),
-                    width_out=self.width_out,
-                    groups=max(1, int(groups[t])),
+                computed_fast[~active] = 0.0
+                computed[fast] = computed_fast[fast]
+                responded[fast] = resp[fast]
+                # Used rows: every active worker on exact plans; the first
+                # ``coverage`` responses (stable arrival order) on full
+                # plans.
+                exact_fast = exact_rows & fast
+                if np.any(exact_fast):
+                    used[exact_fast] = np.where(
+                        active[exact_fast], rows_mat[exact_fast], 0
+                    )
+                full_fast = full_rows & fast
+                if np.any(full_fast):
+                    order = np.argsort(
+                        arrivals[full_fast], axis=1, kind="stable"
+                    )
+                    sub = np.zeros((int(full_fast.sum()), n), dtype=np.int64)
+                    take = coverages[full_fast]
+                    for i in range(sub.shape[0]):
+                        contributors = order[i, : take[i]]
+                        sub[i, contributors] = rows_mat[full_fast][
+                            i, contributors
+                        ]
+                    used[full_fast] = sub
+                groups = np.array(
+                    [profiles[id(p)].decode_groups for p in plan_list],
+                    dtype=np.int64,
                 )
-            completion[fast] = done[fast] + decode[fast]
+                for t in np.flatnonzero(fast):
+                    decode[t] = self.cost.decode_time(
+                        rows=self.grid.rows,
+                        coverage=int(coverages[t]),
+                        width_out=self.width_out,
+                        groups=max(1, int(groups[t])),
+                    )
+                completion[fast] = done[fast] + decode[fast]
 
         # Unclassified plan shapes: the scalar simulator is the semantics
         # of record.
-        for t in np.flatnonzero(fallback):
-            outcome = self.run(plan_list[t], speeds[t], failed_list[t])
-            completion[t] = outcome.completion_time
-            decode[t] = outcome.decode_time
-            repaired[t] = outcome.repaired
-            for w, stat in enumerate(outcome.workers):
-                assigned[t, w] = stat.assigned_rows
-                computed[t, w] = stat.computed_rows
-                used[t, w] = stat.used_rows
-                responded[t, w] = stat.response_time is not None
+        if np.any(fallback):
+            with span("replay"):
+                for t in np.flatnonzero(fallback):
+                    outcome = self.run(plan_list[t], speeds[t], failed_list[t])
+                    completion[t] = outcome.completion_time
+                    decode[t] = outcome.decode_time
+                    repaired[t] = outcome.repaired
+                    for w, stat in enumerate(outcome.workers):
+                        assigned[t, w] = stat.assigned_rows
+                        computed[t, w] = stat.computed_rows
+                        used[t, w] = stat.used_rows
+                        responded[t, w] = stat.response_time is not None
 
         return BatchCodedOutcome(
             completion_time=completion,

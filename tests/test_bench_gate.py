@@ -65,6 +65,59 @@ def test_three_rows_with_regression_fail(tmp_path, capsys):
     assert "matrix.closed" in captured.err
 
 
+def test_first_appearance_metric_passes_with_notice(tmp_path, capsys):
+    # A key that exists only in the newest row — e.g. `events.batch` the
+    # first time the batched-event-kernel bench lands — has no history to
+    # gate against, so it must pass with a logged notice while the
+    # historical metrics keep gating.
+    gate = _load_gate()
+    rows = [
+        _row(1.0),
+        _row(1.1),
+        {"cpus": 1, "matrix": {"closed": 1.05}, "events": {"batch": 0.01}},
+    ]
+    assert gate.main(["--json", str(_write(tmp_path, rows))]) == 0
+    out = capsys.readouterr().out
+    assert "events.batch" in out
+    assert "no history, skipped" in out
+
+
+def test_first_appearance_does_not_mask_a_regression_elsewhere(tmp_path):
+    gate = _load_gate()
+    rows = [
+        _row(1.0),
+        _row(1.1),
+        {"cpus": 1, "matrix": {"closed": 9.0}, "events": {"batch": 0.01}},
+    ]
+    assert gate.main(["--json", str(_write(tmp_path, rows))]) == 1
+
+
+def test_registry_growth_is_not_a_regression(tmp_path, capsys):
+    # The matrix bench sweeps the whole policy × scenario registry, which
+    # grows as PRs register new entries.  A section recording a `cells`
+    # count is gated per cell, so 25% more cells at the same per-cell
+    # cost must pass.
+    gate = _load_gate()
+    rows = [
+        {"cpus": 1, "matrix": {"closed": 2.0, "cells": 100}},
+        {"cpus": 1, "matrix": {"closed": 2.1, "cells": 100}},
+        {"cpus": 1, "matrix": {"closed": 3.0, "cells": 150}},
+    ]
+    assert gate.main(["--json", str(_write(tmp_path, rows))]) == 0
+    assert "bench gate OK" in capsys.readouterr().out
+
+
+def test_per_cell_regression_still_fails(tmp_path, capsys):
+    gate = _load_gate()
+    rows = [
+        {"cpus": 1, "matrix": {"closed": 2.0, "cells": 100}},
+        {"cpus": 1, "matrix": {"closed": 2.1, "cells": 100}},
+        {"cpus": 1, "matrix": {"closed": 4.0, "cells": 100}},
+    ]
+    assert gate.main(["--json", str(_write(tmp_path, rows))]) == 1
+    assert "matrix.closed" in capsys.readouterr().err
+
+
 def test_two_row_pass_is_not_a_silent_skip_of_real_regressions(tmp_path):
     # The <3 short-circuit must not swallow a genuine 3-row regression:
     # appending one more row to a passing 2-row trajectory arms the gate.

@@ -305,6 +305,22 @@ class TestBenchSweepTags:
         assert args.events is True
         assert bench.build_parser().parse_args([]).events is False
 
+    def test_parser_accepts_event_trials(self, bench):
+        args = bench.build_parser().parse_args(["--event-trials", "32"])
+        assert args.event_trials == 32
+        assert bench.build_parser().parse_args([]).event_trials == 64
+
+    def test_parser_rejects_non_positive_event_trials(self, bench, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            bench.build_parser().parse_args(["--event-trials", "0"])
+        assert excinfo.value.code == 2
+        assert "--event-trials" in capsys.readouterr().err
+
+    def test_parser_accepts_profile_flag(self, bench):
+        args = bench.build_parser().parse_args(["--profile"])
+        assert args.profile is True
+        assert bench.build_parser().parse_args([]).profile is False
+
 
 class TestCliValidation:
     """Bad --jobs/--trials/--executor values: exit 2, message names the flag.
@@ -455,3 +471,43 @@ class TestAdaptiveCli:
         assert captured.out == ""
         assert "error:" in captured.err
         assert offence in captured.err
+
+
+class TestProfileCli:
+    """`repro profile`: per-phase hot-spot table over in-process sweeps."""
+
+    def test_quick_profile_prints_phase_table(self, capsys):
+        argv = [
+            "profile", "--quick", "--trials", "1",
+            "--policy", "mds", "--scenario", "netslow",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "phase" in out and "seconds" in out
+        assert "total" in out
+
+    def test_json_profile_is_machine_readable(self, capsys):
+        import json
+
+        argv = [
+            "profile", "--quick", "--trials", "1", "--json",
+            "--policy", "timeout-repair", "--scenario", "bursty",
+            "--backend", "event",
+        ]
+        assert main(argv) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["backend"] == "event"
+        assert report["policies"] == ["timeout-repair"]
+        assert report["scenarios"] == ["bursty"]
+        assert report["trials"] == 1
+        assert report["phases"]  # at least one phase recorded
+        assert all(seconds >= 0.0 for seconds in report["phases"].values())
+
+    @pytest.mark.parametrize(
+        "flag,value", [("--policy", "nope"), ("--scenario", "nope")]
+    )
+    def test_unknown_name_exits_2(self, capsys, flag, value):
+        assert main(["profile", "--quick", flag, value]) == 2
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "error:" in captured.err
